@@ -1,0 +1,98 @@
+package tlrsim_test
+
+import (
+	"strings"
+	"testing"
+
+	"tlrsim"
+)
+
+func TestPublicAPICounter(t *testing.T) {
+	const procs, iters = 4, 50
+	for _, scheme := range []tlrsim.Scheme{tlrsim.Base, tlrsim.SLE, tlrsim.TLR, tlrsim.TLRStrictTS, tlrsim.MCS} {
+		cfg := tlrsim.DefaultConfig(procs, scheme)
+		m := tlrsim.NewMachine(cfg)
+		lock := m.NewLock()
+		ctr := m.Alloc.PaddedWord()
+		progs := make([]func(*tlrsim.TC), procs)
+		for i := range progs {
+			progs[i] = func(tc *tlrsim.TC) {
+				for n := 0; n < iters; n++ {
+					tc.Critical(lock, func() {
+						tc.Store(ctr, tc.Load(ctr)+1)
+					})
+				}
+			}
+		}
+		if err := m.Run(progs); err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if v := m.Sys.ArchWord(ctr); v != procs*iters {
+			t.Fatalf("%v: counter = %d, want %d", scheme, v, procs*iters)
+		}
+		r := tlrsim.Collect(m)
+		if r.Cycles == 0 || r.Scheme != scheme.String() {
+			t.Fatalf("%v: bad collected run %+v", scheme, r)
+		}
+	}
+}
+
+func TestPublicWorkloads(t *testing.T) {
+	cfg := tlrsim.DefaultConfig(4, tlrsim.TLR)
+	for _, w := range []tlrsim.Workload{
+		tlrsim.Benchmarks.MultipleCounter(80),
+		tlrsim.Benchmarks.SingleCounter(80),
+		tlrsim.Benchmarks.LinkedList(40),
+		tlrsim.Benchmarks.MP3D(200, true),
+		tlrsim.Benchmarks.Radiosity(40),
+	} {
+		if _, err := tlrsim.RunWorkload(cfg, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestExperimentSmoke(t *testing.T) {
+	o := tlrsim.DefaultExperimentOptions()
+	o.Ops = 0.05
+	o.Procs = []int{2, 4}
+	o.AppProcs = 4
+	r, err := tlrsim.Fig9(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Report, "Figure 9") {
+		t.Fatalf("unexpected report: %s", r.Report)
+	}
+	if r.Get("BASE", 2) == nil || r.Get("BASE+SLE+TLR", 4) == nil {
+		t.Fatal("missing runs in result")
+	}
+}
+
+func TestTables(t *testing.T) {
+	if !strings.Contains(tlrsim.Table2(), "MOESI") {
+		t.Fatal("Table2 should describe the coherence protocol")
+	}
+	if !strings.Contains(tlrsim.Table1(), "mp3d") {
+		t.Fatal("Table1 should list the benchmarks")
+	}
+}
+
+func TestDefaultConfigMatchesTable2(t *testing.T) {
+	cfg := tlrsim.DefaultConfig(16, tlrsim.TLR)
+	if cfg.Coherence.Cache.SizeBytes != 131072 || cfg.Coherence.Cache.Ways != 4 {
+		t.Fatal("L1 geometry should be 128KB 4-way")
+	}
+	if cfg.Coherence.Bus.SnoopLat != 20 || cfg.Coherence.Bus.DataLat != 20 {
+		t.Fatal("interconnect latencies should be 20/20 cycles")
+	}
+	if cfg.Coherence.MemLat != 70 || cfg.Coherence.L2Lat != 12 {
+		t.Fatal("memory hierarchy latencies should be 70/12 cycles")
+	}
+	if cfg.Coherence.WriteBufferLines != 64 {
+		t.Fatal("write buffer should hold 64 lines")
+	}
+	if cfg.RMWEntries != 128 {
+		t.Fatal("RMW predictor should have 128 entries")
+	}
+}

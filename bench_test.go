@@ -1,0 +1,173 @@
+package tlrsim_test
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// benchmark runs the corresponding experiment workload at a fixed size and
+// reports, alongside the host-time metrics, the SIMULATED parallel cycle
+// count as "simcycles" — the quantity the paper's figures plot. Shapes
+// (scheme orderings, crossovers) are asserted by the test suite; the
+// benchmarks regenerate the underlying series.
+
+import (
+	"testing"
+
+	"tlrsim"
+)
+
+// benchWorkload runs one (workload, scheme, procs) configuration per
+// iteration and reports the simulated cycles of the final run.
+func benchWorkload(b *testing.B, procs int, scheme tlrsim.Scheme, build func() tlrsim.Workload) {
+	b.Helper()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		m, err := tlrsim.RunWorkload(tlrsim.DefaultConfig(procs, scheme), build())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = uint64(m.Cycles())
+	}
+	b.ReportMetric(float64(cycles), "simcycles")
+}
+
+// BenchmarkTable2Config measures machine construction with the paper's
+// Table 2 parameters (16 CPUs, caches, bus, predictors).
+func BenchmarkTable2Config(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := tlrsim.NewMachine(tlrsim.DefaultConfig(16, tlrsim.TLR))
+		if len(m.CPUs) != 16 {
+			b.Fatal("bad machine")
+		}
+	}
+}
+
+// BenchmarkFig7Queue: the queued data transfer of Figure 7 — four
+// processors hammering one line inside transactions; the queue forms on the
+// data itself with no restarts.
+func BenchmarkFig7Queue(b *testing.B) {
+	benchWorkload(b, 4, tlrsim.TLR, func() tlrsim.Workload {
+		return tlrsim.Benchmarks.SingleCounter(512)
+	})
+}
+
+// Figure 8: multiple-counter (coarse-grain/no-conflicts) at 16 processors.
+func BenchmarkFig8MultipleCounter(b *testing.B) {
+	for _, s := range []tlrsim.Scheme{tlrsim.Base, tlrsim.MCS, tlrsim.SLE, tlrsim.TLR} {
+		s := s
+		b.Run(s.String(), func(b *testing.B) {
+			benchWorkload(b, 16, s, func() tlrsim.Workload {
+				return tlrsim.Benchmarks.MultipleCounter(2048)
+			})
+		})
+	}
+}
+
+// Figure 9: single-counter (fine-grain/high-conflict) at 16 processors,
+// including the TLR-strict-ts ablation.
+func BenchmarkFig9SingleCounter(b *testing.B) {
+	for _, s := range []tlrsim.Scheme{tlrsim.Base, tlrsim.MCS, tlrsim.SLE, tlrsim.TLR, tlrsim.TLRStrictTS} {
+		s := s
+		b.Run(s.String(), func(b *testing.B) {
+			benchWorkload(b, 16, s, func() tlrsim.Workload {
+				return tlrsim.Benchmarks.SingleCounter(1024)
+			})
+		})
+	}
+}
+
+// Figure 10: doubly-linked list (fine-grain/dynamic-conflicts) at 16
+// processors.
+func BenchmarkFig10LinkedList(b *testing.B) {
+	for _, s := range []tlrsim.Scheme{tlrsim.Base, tlrsim.MCS, tlrsim.SLE, tlrsim.TLR} {
+		s := s
+		b.Run(s.String(), func(b *testing.B) {
+			benchWorkload(b, 16, s, func() tlrsim.Workload {
+				return tlrsim.Benchmarks.LinkedList(512)
+			})
+		})
+	}
+}
+
+// Figure 11: the seven applications at 16 processors under BASE and TLR
+// (the two bars whose ratio is the §6.3 headline speedup).
+func BenchmarkFig11Apps(b *testing.B) {
+	apps := []struct {
+		name  string
+		build func() tlrsim.Workload
+	}{
+		{"ocean-cont", func() tlrsim.Workload { return tlrsim.Benchmarks.OceanCont(64) }},
+		{"water-nsq", func() tlrsim.Workload { return tlrsim.Benchmarks.WaterNsq(384) }},
+		{"raytrace", func() tlrsim.Workload { return tlrsim.Benchmarks.Raytrace(640) }},
+		{"radiosity", func() tlrsim.Workload { return tlrsim.Benchmarks.Radiosity(448) }},
+		{"barnes", func() tlrsim.Workload { return tlrsim.Benchmarks.Barnes(448) }},
+		{"cholesky", func() tlrsim.Workload { return tlrsim.Benchmarks.Cholesky(120) }},
+		{"mp3d", func() tlrsim.Workload { return tlrsim.Benchmarks.MP3D(3072, false) }},
+	}
+	for _, app := range apps {
+		app := app
+		for _, s := range []tlrsim.Scheme{tlrsim.Base, tlrsim.TLR} {
+			s := s
+			b.Run(app.name+"/"+s.String(), func(b *testing.B) {
+				benchWorkload(b, 16, s, app.build)
+			})
+		}
+	}
+}
+
+// The §6.3 coarse-grain vs fine-grain experiment: mp3d with one lock.
+func BenchmarkCoarseVsFine(b *testing.B) {
+	for _, c := range []struct {
+		name   string
+		scheme tlrsim.Scheme
+		coarse bool
+	}{
+		{"BASE-fine", tlrsim.Base, false},
+		{"TLR-fine", tlrsim.TLR, false},
+		{"TLR-coarse", tlrsim.TLR, true},
+	} {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			benchWorkload(b, 16, c.scheme, func() tlrsim.Workload {
+				return tlrsim.Benchmarks.MP3D(2048, c.coarse)
+			})
+		})
+	}
+}
+
+// The §6.3 read-modify-write predictor study: BASE with and without the
+// collapsing predictor on the most predictor-sensitive kernel.
+func BenchmarkRMWPredictor(b *testing.B) {
+	for _, on := range []bool{false, true} {
+		on := on
+		name := "off"
+		if on {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				cfg := tlrsim.DefaultConfig(16, tlrsim.Base)
+				cfg.UseRMWPredictor = on
+				m, err := tlrsim.RunWorkload(cfg, tlrsim.Benchmarks.Cholesky(96))
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = uint64(m.Cycles())
+			}
+			b.ReportMetric(float64(cycles), "simcycles")
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (host time per
+// simulated cycle) on a representative contended workload.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		m, err := tlrsim.RunWorkload(tlrsim.DefaultConfig(8, tlrsim.TLR),
+			tlrsim.Benchmarks.SingleCounter(512))
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += uint64(m.Cycles())
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "simcycles")
+}

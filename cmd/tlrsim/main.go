@@ -1,0 +1,115 @@
+// Command tlrsim regenerates the tables and figures of "Transactional
+// Lock-Free Execution of Lock-Based Programs" (Rajwar & Goodman, ASPLOS
+// 2002) on the simulated target system.
+//
+// Usage:
+//
+//	tlrsim -experiment fig9
+//	tlrsim -experiment fig11 -ops 2 -procs 16
+//	tlrsim -experiment all
+//
+// Experiments: table1, table2, fig8, fig9, fig10, fig11, coarse, rmw, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tlrsim"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment to run: table1, table2, fig8, fig9, fig10, fig11, coarse, rmw, nack, queue, victim, penalty, storebuf, all")
+		ops        = flag.Float64("ops", 1.0, "operation-count scale factor (1.0 = harness defaults; raise toward paper scale)")
+		seed       = flag.Int64("seed", 2002, "random seed (runs are deterministic per seed)")
+		procsFlag  = flag.String("procs", "2,4,8,16", "comma-separated processor counts for figure sweeps")
+		appProcs   = flag.Int("app-procs", 16, "processor count for the application study (figure 11)")
+		format     = flag.String("format", "table", "output format: table or csv")
+	)
+	flag.Parse()
+	asCSV = *format == "csv"
+
+	o := tlrsim.DefaultExperimentOptions()
+	o.Ops = *ops
+	o.Seed = *seed
+	o.AppProcs = *appProcs
+	o.Procs = nil
+	for _, s := range strings.Split(*procsFlag, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || p < 1 {
+			fatalf("bad -procs entry %q", s)
+		}
+		o.Procs = append(o.Procs, p)
+	}
+
+	run := func(name string) {
+		switch name {
+		case "table1":
+			fmt.Println(tlrsim.Table1())
+		case "table2":
+			fmt.Println(tlrsim.Table2())
+		case "fig8":
+			report(tlrsim.Fig8(o))
+		case "fig9":
+			report(tlrsim.Fig9(o))
+		case "fig10":
+			report(tlrsim.Fig10(o))
+		case "fig11":
+			r, err := tlrsim.Fig11(o)
+			if err != nil {
+				fatalf("fig11: %v", err)
+			}
+			if asCSV {
+				fmt.Print(r.CSV())
+			} else {
+				fmt.Println(r.Report)
+			}
+		case "coarse":
+			report(tlrsim.CoarseVsFine(o))
+		case "rmw":
+			report(tlrsim.RMWEffect(o))
+		case "nack":
+			report(tlrsim.NackVsDeferral(o))
+		case "queue":
+			report(tlrsim.DeferredQueueSweep(o))
+		case "victim":
+			report(tlrsim.VictimCacheSweep(o))
+		case "penalty":
+			report(tlrsim.RestartPenaltySweep(o))
+		case "storebuf":
+			report(tlrsim.StoreBufferEffect(o))
+		default:
+			fatalf("unknown experiment %q", name)
+		}
+	}
+
+	if *experiment == "all" {
+		for _, name := range []string{"table1", "table2", "fig8", "fig9", "fig10", "fig11", "coarse", "rmw", "nack", "queue", "victim", "penalty", "storebuf"} {
+			run(name)
+		}
+		return
+	}
+	run(*experiment)
+}
+
+var asCSV bool
+
+func report(r *tlrsim.ExperimentResult, err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if asCSV {
+		fmt.Print(r.CSV())
+		return
+	}
+	fmt.Println(r.Report)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tlrsim: "+format+"\n", args...)
+	os.Exit(1)
+}

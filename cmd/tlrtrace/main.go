@@ -1,0 +1,102 @@
+// Command tlrtrace runs one of the paper's workloads with protocol-event
+// tracing attached and prints the resulting timeline: transaction begins,
+// commits, aborts (with reasons), deferrals and their services, NACKs,
+// markers, probes, and fallbacks. It is the fastest way to SEE the TLR
+// algorithm working — who deferred whom, which probe broke which wait.
+//
+// Usage:
+//
+//	tlrtrace -workload single-counter -scheme tlr -procs 4 -ops 64
+//	tlrtrace -workload linked-list -scheme sle -cpu 2      # one CPU only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tlrsim"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "single-counter", "workload: single-counter, multiple-counter, linked-list, mp3d, mp3d-coarse, radiosity, read-heavy")
+		scheme   = flag.String("scheme", "tlr", "scheme: base, sle, tlr, tlr-strict, mcs")
+		procs    = flag.Int("procs", 4, "processor count")
+		ops      = flag.Int("ops", 64, "total operation count")
+		cpu      = flag.Int("cpu", -1, "filter the timeline to one CPU (-1 = all)")
+		capacity = flag.Int("events", 4096, "trace ring capacity (newest events kept)")
+		seed     = flag.Int64("seed", 2002, "random seed")
+	)
+	flag.Parse()
+
+	s, err := parseScheme(*scheme)
+	if err != nil {
+		fatal(err)
+	}
+	w, err := buildWorkload(*workload, *ops)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := tlrsim.DefaultConfig(*procs, s)
+	cfg.Seed = *seed
+	cfg.TraceCapacity = *capacity
+	m, err := tlrsim.RunWorkload(cfg, w)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s under %s, %d processors, %d cycles\n\n", w.Name(), s, *procs, m.Cycles())
+	fmt.Print(m.Trace().Dump(*cpu))
+
+	r := tlrsim.Collect(m)
+	fmt.Printf("\ncommits=%d aborts=%d deferrals=%d fallbacks=%d markers=%d probes=%d\n",
+		r.Commits, r.Aborts, r.Deferrals, r.Fallbacks, r.Markers, r.Probes)
+	if total := m.Trace().Total(); total > uint64(*capacity) {
+		fmt.Printf("(%d events recorded; showing the newest %d — raise -events for more)\n",
+			total, *capacity)
+	}
+}
+
+func parseScheme(s string) (tlrsim.Scheme, error) {
+	switch strings.ToLower(s) {
+	case "base":
+		return tlrsim.Base, nil
+	case "sle":
+		return tlrsim.SLE, nil
+	case "tlr":
+		return tlrsim.TLR, nil
+	case "tlr-strict", "tlr-strict-ts":
+		return tlrsim.TLRStrictTS, nil
+	case "mcs":
+		return tlrsim.MCS, nil
+	}
+	return 0, fmt.Errorf("unknown scheme %q", s)
+}
+
+func buildWorkload(name string, ops int) (tlrsim.Workload, error) {
+	switch name {
+	case "single-counter":
+		return tlrsim.Benchmarks.SingleCounter(ops), nil
+	case "multiple-counter":
+		return tlrsim.Benchmarks.MultipleCounter(ops), nil
+	case "linked-list":
+		return tlrsim.Benchmarks.LinkedList(ops), nil
+	case "mp3d":
+		return tlrsim.Benchmarks.MP3D(ops, false), nil
+	case "mp3d-coarse":
+		return tlrsim.Benchmarks.MP3D(ops, true), nil
+	case "radiosity":
+		return tlrsim.Benchmarks.Radiosity(ops), nil
+	case "read-heavy":
+		return tlrsim.Benchmarks.ReadHeavy(ops), nil
+	}
+	return nil, fmt.Errorf("unknown workload %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tlrtrace:", err)
+	os.Exit(1)
+}

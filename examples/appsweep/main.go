@@ -1,0 +1,32 @@
+// Appsweep regenerates the paper's application study (Figure 11 and the
+// §6.3 speedups): the seven SPLASH-like kernels at 16 processors under
+// BASE, BASE+SLE, BASE+SLE+TLR, and MCS, with execution time split into
+// lock-variable and other contributions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tlrsim"
+)
+
+func main() {
+	o := tlrsim.DefaultExperimentOptions()
+	r, err := tlrsim.Fig11(o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(r.Report)
+
+	fmt.Println("TLR speedups over BASE (paper §6.3 in parentheses):")
+	paper := map[string]string{
+		"ocean-cont": "1.02", "water-nsq": "1.01", "raytrace": "1.17",
+		"radiosity": "1.47", "barnes": "1.16", "cholesky": "1.05", "mp3d": "1.40",
+	}
+	for _, app := range r.Apps {
+		base := r.Get(app, "BASE")
+		tlr := r.Get(app, "BASE+SLE+TLR")
+		fmt.Printf("  %-12s %.2fx  (paper: %sx)\n", app, tlr.Speedup(base), paper[app])
+	}
+}

@@ -1,0 +1,45 @@
+// Linkedlist reproduces the paper's motivating dynamic-concurrency scenario
+// (Figure 10): a doubly-linked queue protected by ONE lock. An enqueuer
+// modifies Tail, a dequeuer modifies Head — disjoint when the queue is
+// non-empty, but no lock-based program can exploit that, because an
+// enqueuer cannot know whether it must also touch Head until it holds the
+// lock. TLR discovers the concurrency dynamically from the data conflicts
+// that do (not) happen.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tlrsim"
+)
+
+func main() {
+	const procs = 16
+	const ops = 512
+
+	fmt.Printf("doubly-linked list, one lock, %d processors, %d dequeue+enqueue pairs\n\n", procs, ops)
+	fmt.Printf("%-14s %12s %10s %10s %12s\n", "scheme", "cycles", "commits", "aborts", "lock-free?")
+
+	var baseCycles uint64
+	for _, scheme := range []tlrsim.Scheme{tlrsim.Base, tlrsim.MCS, tlrsim.SLE, tlrsim.TLR} {
+		cfg := tlrsim.DefaultConfig(procs, scheme)
+		w := tlrsim.Benchmarks.LinkedList(ops)
+		m, err := tlrsim.RunWorkload(cfg, w)
+		if err != nil {
+			log.Fatal(err) // validation failure = broken list
+		}
+		r := tlrsim.Collect(m)
+		if scheme == tlrsim.Base {
+			baseCycles = r.Cycles
+		}
+		lockFree := "no"
+		if r.Commits > 0 && r.Fallbacks == 0 {
+			lockFree = "yes"
+		}
+		fmt.Printf("%-14s %12d %10d %10d %12s\n", r.Scheme, r.Cycles, r.Commits, r.Aborts, lockFree)
+	}
+	_ = baseCycles
+	fmt.Println("\nThe list's structural integrity is validated after every run:")
+	fmt.Println("every node still reachable, next/prev links consistent, no cycles.")
+}

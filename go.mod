@@ -1,0 +1,3 @@
+module tlrsim
+
+go 1.22

@@ -1,0 +1,359 @@
+// Package bus models the Sun-Gigaplane-style interconnect of the paper's
+// target system (Table 2): a split-transaction, ordered broadcast address
+// network with a fixed snoop latency, plus a point-to-point pipelined data
+// network.
+//
+// The address network gives every coherence request a single global order
+// point. That split — a request is *ordered* (ownership of record moves) long
+// before its *data* arrives — is the protocol property that creates the
+// cyclic-wait danger of the paper's Figure 6 and that TLR's marker/probe
+// machinery resolves. The data network carries line data, and also TLR's two
+// side-band message types (markers and probes, §3.1.1), which have no
+// coherence interactions.
+package bus
+
+import (
+	"fmt"
+
+	"tlrsim/internal/memsys"
+	"tlrsim/internal/sim"
+	"tlrsim/internal/stamp"
+)
+
+// Kind enumerates address-network transaction types for the MOESI protocol.
+type Kind int
+
+const (
+	// GetS requests a readable (shared) copy of a line.
+	GetS Kind = iota
+	// GetX requests an exclusive, writable copy of a line (rd_X in the paper).
+	GetX
+	// Upgrade requests write permission for a line already held shared.
+	Upgrade
+	// WriteBack returns a dirty line to memory on eviction.
+	WriteBack
+)
+
+func (k Kind) String() string {
+	switch k {
+	case GetS:
+		return "GetS"
+	case GetX:
+		return "GetX"
+	case Upgrade:
+		return "Upgrade"
+	case WriteBack:
+		return "WriteBack"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// MemID is the controller id of the memory/L2 controller on the bus.
+const MemID = -1
+
+// Txn is one address-network transaction. Requests generated from within a
+// TLR transaction carry the issuing processor's timestamp (§2.2 step 3);
+// requests from outside carry stamp.None().
+type Txn struct {
+	ID    uint64
+	Kind  Kind
+	Line  memsys.Addr
+	Src   int
+	Stamp stamp.Stamp
+
+	// WBData carries the line payload for WriteBack transactions.
+	WBData memsys.LineData
+
+	// Ordered is the cycle at which the address bus granted (globally
+	// ordered) this transaction; filled by the bus.
+	Ordered sim.Time
+
+	// Cancel (WriteBack only) is set by the issuing controller at the
+	// write-back's own snoop when the data was superseded (an intervening
+	// GetX took ownership of a fresher copy): memory must not apply it.
+	Cancel bool
+
+	// Nacked is set at snoop time when the owner refuses the request
+	// (NACK-based ownership retention, the §3 alternative to deferral): the
+	// transaction is void for every observer and the requester must retry.
+	Nacked bool
+
+	// SrcHolds (Upgrade only) reports whether the requester still held a
+	// valid copy of the line at the order point. A false value marks a void
+	// upgrade: the copy it meant to promote was already invalidated, the
+	// requester will convert to a full GetX, and no other cache may react.
+	// Filled by the bus at snoop time so every controller sees one
+	// consistent verdict.
+	SrcHolds bool
+
+	issued sim.Time
+}
+
+func (t *Txn) String() string {
+	return fmt.Sprintf("txn#%d %s %s from %d %s", t.ID, t.Kind, t.Line, t.Src, t.Stamp)
+}
+
+// Snooper is a controller attached to the address network.
+type Snooper interface {
+	// SnoopOwner is a side-effect-free query asked at snoop time: does this
+	// controller currently hold supplier-of-record responsibility for line?
+	// (Either it holds the line in an owned state it has not yet passed on,
+	// or it has a bus-ordered outstanding request that made it the pending
+	// owner.) At most one controller may answer true.
+	SnoopOwner(line memsys.Addr) bool
+	// SnoopShared is a side-effect-free query: does this controller hold any
+	// valid copy of line, or a pending ordered request for it? The result
+	// decides whether a memory-supplied GetS fill may install Exclusive.
+	SnoopShared(line memsys.Addr) bool
+	// SnoopNack asks the supplier of record whether it refuses t (NACK-based
+	// ownership retention). Consulted once per transaction, at snoop time,
+	// for the owner only; a true result voids the transaction for everyone
+	// and the requester retries after a backoff.
+	SnoopNack(t *Txn) bool
+	// Snoop processes transaction t. owner is the controller that answered
+	// SnoopOwner (MemID if none); shared reports whether any controller
+	// other than t.Src answered SnoopShared. Every snooper sees every
+	// transaction, including its own (requesters learn their order point
+	// that way).
+	Snoop(t *Txn, owner int, shared bool)
+}
+
+// Msg is a point-to-point message on the data network.
+type Msg interface{ msgFrom() int }
+
+// DataResp carries line data from a supplier to a requester, completing the
+// split transaction begun by Txn ID Req.
+type DataResp struct {
+	Req    uint64
+	Line   memsys.Addr
+	Data   memsys.LineData
+	From   int
+	Shared bool // supplier retained a shared copy (GetS service by an owner)
+}
+
+// Marker is TLR's "I am your upstream neighbour" message (§3.1.1): sent in
+// response to a request for a block under conflict for which data is not
+// provided immediately, so the requester learns whom to probe.
+type Marker struct {
+	Req  uint64
+	Line memsys.Addr
+	From int
+}
+
+// Probe propagates a conflicting request's timestamp upstream along a
+// coherence chain toward the cache that holds valid data, restarting
+// lower-priority holders (§3.1.1).
+type Probe struct {
+	Line  memsys.Addr
+	Stamp stamp.Stamp // timestamp of the conflicting (downstream) request
+	From  int
+}
+
+func (m DataResp) msgFrom() int { return m.From }
+func (m Marker) msgFrom() int   { return m.From }
+func (m Probe) msgFrom() int    { return m.From }
+
+// Receiver accepts data-network messages.
+type Receiver interface {
+	Deliver(m Msg)
+}
+
+// Config holds interconnect timing parameters (paper Table 2 defaults are in
+// the root package's DefaultConfig).
+type Config struct {
+	SnoopLat       uint64 // address broadcast + snoop resolution latency
+	DataLat        uint64 // point-to-point data network latency
+	ArbCycles      uint64 // minimum cycles between consecutive grants
+	ArbJitter      uint64 // uniform random extra grant delay (0..ArbJitter)
+	Occupancy      uint64 // per-endpoint data-network injection spacing
+	MaxOutstanding int    // outstanding address transactions (120)
+}
+
+// Stats counts interconnect activity for the traffic results in §6.
+type Stats struct {
+	Txns      map[Kind]uint64
+	DataMsgs  uint64
+	Markers   uint64
+	Probes    uint64
+	Nacks     uint64
+	ArbStalls uint64 // cycles transactions spent queued for the address bus
+}
+
+// Bus is the interconnect: ordered address network + data network.
+type Bus struct {
+	k   *sim.Kernel
+	cfg Config
+
+	snoopers map[int]Snooper
+	recvs    map[int]Receiver
+	order    []int // snoop dispatch order (sorted ids, memory last)
+
+	queue       []*Txn
+	nextGrant   sim.Time
+	outstanding int
+	granting    bool
+	nextID      uint64
+
+	sendFree map[int]sim.Time
+
+	stats Stats
+}
+
+// New returns a bus on kernel k.
+func New(k *sim.Kernel, cfg Config) *Bus {
+	if cfg.MaxOutstanding <= 0 {
+		cfg.MaxOutstanding = 120
+	}
+	if cfg.ArbCycles == 0 {
+		cfg.ArbCycles = 1
+	}
+	return &Bus{
+		k:        k,
+		cfg:      cfg,
+		snoopers: make(map[int]Snooper),
+		recvs:    make(map[int]Receiver),
+		sendFree: make(map[int]sim.Time),
+		stats:    Stats{Txns: make(map[Kind]uint64)},
+	}
+}
+
+// Attach registers a controller under id for both snooping and data
+// delivery. The memory controller attaches as MemID.
+func (b *Bus) Attach(id int, s Snooper, r Receiver) {
+	if _, dup := b.snoopers[id]; dup {
+		panic(fmt.Sprintf("bus: duplicate controller id %d", id))
+	}
+	b.snoopers[id] = s
+	b.recvs[id] = r
+	// Rebuild dispatch order: ascending CPU ids, then memory.
+	b.order = b.order[:0]
+	for i := 0; i < 1024; i++ {
+		if _, ok := b.snoopers[i]; ok {
+			b.order = append(b.order, i)
+		}
+	}
+	if _, ok := b.snoopers[MemID]; ok {
+		b.order = append(b.order, MemID)
+	}
+}
+
+// Stats returns accumulated interconnect counters.
+func (b *Bus) Stats() *Stats { return &b.stats }
+
+// Issue queues transaction t for the address network. The bus assigns the
+// transaction ID and, at grant time, the global order.
+func (b *Bus) Issue(t *Txn) uint64 {
+	b.nextID++
+	t.ID = b.nextID
+	t.issued = b.k.Now()
+	b.stats.Txns[t.Kind]++
+	b.queue = append(b.queue, t)
+	b.pump()
+	return t.ID
+}
+
+// Complete releases an outstanding-transaction slot once the requester has
+// fully finished the split transaction (data consumed or no data needed).
+func (b *Bus) Complete() {
+	if b.outstanding <= 0 {
+		panic("bus: Complete without outstanding transaction")
+	}
+	b.outstanding--
+	b.pump()
+}
+
+// pump grants the next queued transaction when the bus and an outstanding
+// slot are free.
+func (b *Bus) pump() {
+	if b.granting || len(b.queue) == 0 || b.outstanding >= b.cfg.MaxOutstanding {
+		return
+	}
+	b.granting = true
+	at := b.nextGrant
+	if now := b.k.Now(); at < now {
+		at = now
+	}
+	if b.cfg.ArbJitter > 0 {
+		at += sim.Time(uint64(b.k.Rand().Int63n(int64(b.cfg.ArbJitter + 1))))
+	}
+	b.k.At(at, b.grant)
+}
+
+func (b *Bus) grant() {
+	b.granting = false
+	if len(b.queue) == 0 || b.outstanding >= b.cfg.MaxOutstanding {
+		return
+	}
+	t := b.queue[0]
+	b.queue = b.queue[1:]
+	b.outstanding++
+	t.Ordered = b.k.Now()
+	b.stats.ArbStalls += uint64(t.Ordered - t.issued)
+	b.nextGrant = b.k.Now() + sim.Time(b.cfg.ArbCycles)
+
+	// Snoop resolution: all controllers observe the transaction SnoopLat
+	// cycles after the order point, atomically in one kernel event so the
+	// ownership query and the state transitions are mutually consistent.
+	b.k.After(b.cfg.SnoopLat, func() {
+		if t.Kind == Upgrade {
+			if s, ok := b.snoopers[t.Src]; ok {
+				t.SrcHolds = s.SnoopShared(t.Line)
+			}
+		}
+		owner := MemID
+		shared := false
+		for _, id := range b.order {
+			if id == MemID {
+				continue
+			}
+			if owner == MemID && b.snoopers[id].SnoopOwner(t.Line) {
+				owner = id
+			}
+			if id != t.Src && !shared && b.snoopers[id].SnoopShared(t.Line) {
+				shared = true
+			}
+		}
+		if owner != MemID && owner != t.Src && (t.Kind == GetS || t.Kind == GetX) {
+			if b.snoopers[owner].SnoopNack(t) {
+				t.Nacked = true
+				b.stats.Nacks++
+			}
+		}
+		for _, id := range b.order {
+			b.snoopers[id].Snoop(t, owner, shared)
+		}
+	})
+	b.pump()
+}
+
+// Send delivers msg to controller `to` over the data network after the data
+// latency plus any injection-port backpressure at the sender.
+func (b *Bus) Send(to int, msg Msg) {
+	from := msg.msgFrom()
+	switch msg.(type) {
+	case DataResp:
+		b.stats.DataMsgs++
+	case Marker:
+		b.stats.Markers++
+	case Probe:
+		b.stats.Probes++
+	}
+	depart := b.sendFree[from]
+	if now := b.k.Now(); depart < now {
+		depart = now
+	}
+	b.sendFree[from] = depart + sim.Time(b.cfg.Occupancy)
+	r, ok := b.recvs[to]
+	if !ok {
+		panic(fmt.Sprintf("bus: Send to unknown controller %d", to))
+	}
+	b.k.At(depart+sim.Time(b.cfg.DataLat), func() { r.Deliver(msg) })
+}
+
+// Outstanding reports in-flight address transactions (for quiescence checks
+// in tests).
+func (b *Bus) Outstanding() int { return b.outstanding }
+
+// Queued reports transactions waiting for arbitration.
+func (b *Bus) Queued() int { return len(b.queue) }

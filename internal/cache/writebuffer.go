@@ -1,0 +1,107 @@
+package cache
+
+import (
+	"sort"
+
+	"tlrsim/internal/memsys"
+)
+
+// WriteBuffer is the speculative store buffer (Table 2: 64 entries, 64 bytes
+// wide). During transactional execution every store lands here instead of in
+// the cache; loads forward from it; at commit the whole buffer drains into
+// the cache atomically; on misspeculation it is discarded, which is what
+// gives critical sections failure-atomicity (§4).
+//
+// Writes are merged: re-writing a word or a line costs no new entry, so the
+// capacity limit is the number of *unique cache lines* written in the
+// critical section (§3.3).
+type WriteBuffer struct {
+	words    map[memsys.Addr]uint64
+	lines    map[memsys.Addr]int // line -> word count
+	maxLines int
+}
+
+// NewWriteBuffer returns a buffer limited to maxLines distinct lines.
+func NewWriteBuffer(maxLines int) *WriteBuffer {
+	return &WriteBuffer{
+		words:    make(map[memsys.Addr]uint64),
+		lines:    make(map[memsys.Addr]int),
+		maxLines: maxLines,
+	}
+}
+
+// Write buffers v at word address a. It reports false — without buffering —
+// when the store would exceed the line capacity: the resource constraint
+// that forces lock acquisition (§2.2 step 3, §3.3).
+func (wb *WriteBuffer) Write(a memsys.Addr, v uint64) bool {
+	line := a.Line()
+	if _, ok := wb.lines[line]; !ok && len(wb.lines) >= wb.maxLines {
+		return false
+	}
+	if _, ok := wb.words[a]; !ok {
+		wb.lines[line]++
+	}
+	wb.words[a] = v
+	return true
+}
+
+// Read forwards the newest buffered value for a, if any.
+func (wb *WriteBuffer) Read(a memsys.Addr) (uint64, bool) {
+	v, ok := wb.words[a]
+	return v, ok
+}
+
+// HasLine reports whether any buffered store targets the line.
+func (wb *WriteBuffer) HasLine(line memsys.Addr) bool {
+	_, ok := wb.lines[line.Line()]
+	return ok
+}
+
+// Lines returns the distinct buffered lines in ascending address order
+// (deterministic commit order).
+func (wb *WriteBuffer) Lines() []memsys.Addr {
+	out := make([]memsys.Addr, 0, len(wb.lines))
+	for l := range wb.lines {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Drain applies every buffered word of line into data (the line's committed
+// payload) and removes those entries. Commit calls this per line while
+// holding write permission.
+func (wb *WriteBuffer) Drain(line memsys.Addr, data *memsys.LineData) {
+	line = line.Line()
+	for i := 0; i < memsys.WordsPerLine; i++ {
+		a := line + memsys.Addr(i*memsys.WordBytes)
+		if v, ok := wb.words[a]; ok {
+			data[i] = v
+			delete(wb.words, a)
+		}
+	}
+	delete(wb.lines, line)
+}
+
+// Snapshot returns a copy of all buffered words (functional-checker
+// support: the transaction's write set at commit).
+func (wb *WriteBuffer) Snapshot() map[memsys.Addr]uint64 {
+	out := make(map[memsys.Addr]uint64, len(wb.words))
+	for a, v := range wb.words {
+		out[a] = v
+	}
+	return out
+}
+
+// Discard empties the buffer (misspeculation recovery: the speculative
+// updates vanish without ever becoming visible).
+func (wb *WriteBuffer) Discard() {
+	clear(wb.words)
+	clear(wb.lines)
+}
+
+// LineCount reports distinct buffered lines.
+func (wb *WriteBuffer) LineCount() int { return len(wb.lines) }
+
+// Empty reports whether nothing is buffered.
+func (wb *WriteBuffer) Empty() bool { return len(wb.words) == 0 }

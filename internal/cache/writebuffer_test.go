@@ -1,0 +1,150 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tlrsim/internal/memsys"
+)
+
+func TestWriteBufferForwarding(t *testing.T) {
+	wb := NewWriteBuffer(4)
+	if _, ok := wb.Read(0x100); ok {
+		t.Fatal("empty buffer should not forward")
+	}
+	wb.Write(0x100, 7)
+	wb.Write(0x108, 8)
+	if v, ok := wb.Read(0x100); !ok || v != 7 {
+		t.Fatal("forwarding failed")
+	}
+	wb.Write(0x100, 9) // overwrite merges
+	if v, _ := wb.Read(0x100); v != 9 {
+		t.Fatal("merge failed")
+	}
+	if wb.LineCount() != 1 {
+		t.Fatalf("LineCount = %d, want 1 (both words in one line)", wb.LineCount())
+	}
+}
+
+func TestWriteBufferLineCapacity(t *testing.T) {
+	wb := NewWriteBuffer(2)
+	if !wb.Write(0x000, 1) || !wb.Write(0x040, 2) {
+		t.Fatal("first two lines must fit")
+	}
+	// Same lines again: still fine (coalescing).
+	if !wb.Write(0x008, 3) || !wb.Write(0x048, 4) {
+		t.Fatal("coalesced writes must not consume capacity")
+	}
+	if wb.Write(0x080, 5) {
+		t.Fatal("third distinct line must overflow")
+	}
+	// Overflowing write must not have been buffered.
+	if _, ok := wb.Read(0x080); ok {
+		t.Fatal("overflowed write leaked into buffer")
+	}
+}
+
+func TestWriteBufferDrain(t *testing.T) {
+	wb := NewWriteBuffer(4)
+	wb.Write(0x040, 11)
+	wb.Write(0x078, 22) // word 7 of line 0x40
+	wb.Write(0x080, 33)
+	var data memsys.LineData
+	data[1] = 99 // pre-existing word survives
+	wb.Drain(0x040, &data)
+	if data[0] != 11 || data[7] != 22 || data[1] != 99 {
+		t.Fatalf("drain result %v", data)
+	}
+	if wb.HasLine(0x040) {
+		t.Fatal("drained line still present")
+	}
+	if !wb.HasLine(0x080) {
+		t.Fatal("undrained line lost")
+	}
+	if wb.LineCount() != 1 {
+		t.Fatalf("LineCount = %d", wb.LineCount())
+	}
+}
+
+func TestWriteBufferDiscard(t *testing.T) {
+	wb := NewWriteBuffer(4)
+	wb.Write(0x40, 1)
+	wb.Write(0x80, 2)
+	wb.Discard()
+	if !wb.Empty() || wb.LineCount() != 0 {
+		t.Fatal("discard left residue")
+	}
+	if _, ok := wb.Read(0x40); ok {
+		t.Fatal("discarded value still readable")
+	}
+	// Capacity fully restored.
+	for i := 0; i < 4; i++ {
+		if !wb.Write(memsys.Addr(i*64), uint64(i)) {
+			t.Fatal("capacity not restored after discard")
+		}
+	}
+}
+
+func TestWriteBufferLinesSorted(t *testing.T) {
+	wb := NewWriteBuffer(8)
+	for _, a := range []memsys.Addr{0x1c0, 0x40, 0x100, 0x80} {
+		wb.Write(a, 1)
+	}
+	lines := wb.Lines()
+	for i := 1; i < len(lines); i++ {
+		if lines[i] <= lines[i-1] {
+			t.Fatalf("lines not sorted: %v", lines)
+		}
+	}
+}
+
+// Property: last write wins per word; drain of every line reconstructs
+// exactly the buffered state; line count never exceeds the limit.
+func TestPropertyWriteBufferSemantics(t *testing.T) {
+	type w struct {
+		Slot uint8
+		Val  uint64
+	}
+	f := func(writes []w) bool {
+		const maxLines = 4
+		wb := NewWriteBuffer(maxLines)
+		want := map[memsys.Addr]uint64{}
+		for _, x := range writes {
+			a := memsys.Addr(x.Slot%64) * memsys.WordBytes
+			if wb.Write(a, x.Val) {
+				want[a] = x.Val
+			} else if _, present := want[a]; present {
+				return false // rejected a write to an already-buffered line
+			}
+			if wb.LineCount() > maxLines {
+				return false
+			}
+		}
+		for a, v := range want {
+			got, ok := wb.Read(a)
+			if !ok || got != v {
+				return false
+			}
+		}
+		// Drain everything and confirm reconstruction.
+		got := map[memsys.Addr]uint64{}
+		for _, line := range wb.Lines() {
+			var d memsys.LineData
+			wb.Drain(line, &d)
+			for i, v := range d {
+				if v != 0 {
+					got[line+memsys.Addr(i*memsys.WordBytes)] = v
+				}
+			}
+		}
+		for a, v := range want {
+			if v != 0 && got[a] != v {
+				return false
+			}
+		}
+		return wb.Empty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

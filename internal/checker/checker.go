@@ -1,0 +1,127 @@
+// Package checker is the functional checker that runs behind the timing
+// simulator (the paper's §5.3 methodology: "a functional checker simulator
+// executes behind the detailed timing simulator only for checking
+// correctness"). It maintains a shadow memory in architectural (commit)
+// order and validates:
+//
+//   - serializability of transactions: at commit, every value the
+//     transaction read must still equal the shadow state, and its writes
+//     are applied atomically;
+//   - coherence of plain accesses: every non-speculative load observes
+//     exactly the last architecturally completed store.
+//
+// A violation means the timing model broke the memory consistency contract;
+// it is reported as an error, never silently ignored.
+package checker
+
+import (
+	"fmt"
+	"sort"
+
+	"tlrsim/internal/memsys"
+)
+
+// Checker is the shadow-memory validator. The zero value is not usable;
+// construct with New. The simulator is single-threaded, so Checker needs no
+// locking.
+type Checker struct {
+	shadow map[memsys.Addr]uint64
+
+	txns       uint64
+	plainOps   uint64
+	violations []string
+	limit      int
+}
+
+// New returns an empty checker (shadow state all zero, matching the
+// simulated memory image before Setup).
+func New() *Checker {
+	return &Checker{shadow: make(map[memsys.Addr]uint64), limit: 16}
+}
+
+// Preload installs a word written during workload setup (outside simulated
+// time).
+func (c *Checker) Preload(a memsys.Addr, v uint64) { c.shadow[a] = v }
+
+// CommitTxn validates one committed transaction: reads must match the
+// shadow at this (commit) point — TLR's conflict detection guarantees no
+// writer intervened between read and commit — then writes apply atomically.
+func (c *Checker) CommitTxn(cpu int, reads, writes map[memsys.Addr]uint64) {
+	c.txns++
+	for _, a := range sortedAddrs(reads) {
+		v := reads[a]
+		if got := c.shadow[a]; got != v {
+			c.report("P%d commit #%d: read %s = %d, architectural value is %d",
+				cpu, c.txns, a, v, got)
+		}
+	}
+	for a, v := range writes {
+		c.shadow[a] = v
+	}
+}
+
+// AbortTxn records a squashed transaction (its reads and writes vanish; the
+// checker only counts it).
+func (c *Checker) AbortTxn(cpu int) {}
+
+// PlainLoad validates a non-speculative load against the shadow.
+// forwarded marks loads satisfied by a fill that was ordered before an
+// intervening writer (fill-and-forward): those legally observe the older
+// value and are exempt from the equality check.
+func (c *Checker) PlainLoad(cpu int, a memsys.Addr, v uint64, forwarded bool) {
+	c.plainOps++
+	if forwarded {
+		return
+	}
+	if got := c.shadow[a]; got != v {
+		c.report("P%d plain load %s = %d, architectural value is %d", cpu, a, v, got)
+	}
+}
+
+// PlainStore applies a non-speculative store to the shadow.
+func (c *Checker) PlainStore(cpu int, a memsys.Addr, v uint64) {
+	c.plainOps++
+	c.shadow[a] = v
+}
+
+// PlainRMW validates and applies an atomic read-modify-write: the observed
+// old value must match the shadow; write applies the new value (skipped for
+// failed conditionals).
+func (c *Checker) PlainRMW(cpu int, a memsys.Addr, old, new uint64, wrote bool) {
+	c.plainOps++
+	if got := c.shadow[a]; got != old {
+		c.report("P%d RMW %s observed %d, architectural value is %d", cpu, a, old, got)
+	}
+	if wrote {
+		c.shadow[a] = new
+	}
+}
+
+func (c *Checker) report(format string, args ...any) {
+	if len(c.violations) < c.limit {
+		c.violations = append(c.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// Err returns the accumulated violations, or nil.
+func (c *Checker) Err() error {
+	if len(c.violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("checker: %d violation(s), first: %s", len(c.violations), c.violations[0])
+}
+
+// Stats reports how much the checker has validated.
+func (c *Checker) Stats() (txns, plainOps uint64) { return c.txns, c.plainOps }
+
+// Word returns the shadow value at a (test support).
+func (c *Checker) Word(a memsys.Addr) uint64 { return c.shadow[a] }
+
+func sortedAddrs(m map[memsys.Addr]uint64) []memsys.Addr {
+	out := make([]memsys.Addr, 0, len(m))
+	for a := range m {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

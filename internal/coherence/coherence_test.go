@@ -1,0 +1,513 @@
+package coherence
+
+import (
+	"testing"
+
+	"tlrsim/internal/bus"
+	"tlrsim/internal/cache"
+	"tlrsim/internal/core"
+	"tlrsim/internal/memsys"
+	"tlrsim/internal/sim"
+)
+
+func testConfig() Config {
+	return Config{
+		Cache: cache.Config{SizeBytes: 8192, Ways: 4, VictimEntries: 16},
+		Bus:   bus.Config{SnoopLat: 20, DataLat: 20, ArbCycles: 2, Occupancy: 2, MaxOutstanding: 120},
+		L2Lat: 12, MemLat: 70, WriteBufferLines: 64,
+	}
+}
+
+// rig builds an n-CPU system with one engine per CPU using pol.
+func rig(n int, pol core.Policy) (*sim.Kernel, *System) {
+	k := sim.New(1)
+	engines := make([]*core.Engine, n)
+	for i := range engines {
+		engines[i] = core.NewEngine(i, pol)
+	}
+	return k, NewSystem(k, n, testConfig(), engines)
+}
+
+// load performs a blocking load and pumps the kernel to completion.
+func load(t *testing.T, k *sim.Kernel, c *Controller, a memsys.Addr) uint64 {
+	t.Helper()
+	var v uint64
+	fired := false
+	c.Load(a, false, func(val uint64, ok bool) { v, fired = val, true })
+	if !k.RunUntil(func() bool { return fired }) {
+		t.Fatalf("P%d load %s never completed", c.ID(), a)
+	}
+	return v
+}
+
+// store performs a blocking store and pumps the kernel.
+func store(t *testing.T, k *sim.Kernel, c *Controller, a memsys.Addr, v uint64) {
+	t.Helper()
+	fired, okv := false, false
+	c.Store(a, v, func(_ uint64, ok bool) { fired, okv = true, ok })
+	if !k.RunUntil(func() bool { return fired }) {
+		t.Fatalf("P%d store %s never completed", c.ID(), a)
+	}
+	if !okv {
+		t.Fatalf("P%d store %s squashed unexpectedly", c.ID(), a)
+	}
+}
+
+func commit(t *testing.T, k *sim.Kernel, c *Controller) bool {
+	t.Helper()
+	fired, okv := false, false
+	c.TryCommit(func(ok bool) { fired, okv = true, ok })
+	k.RunUntil(func() bool { return fired })
+	return fired && okv
+}
+
+func stateOf(c *Controller, a memsys.Addr) cache.State {
+	if l := c.Cache().Probe(a.Line()); l != nil {
+		return l.State
+	}
+	return cache.Invalid
+}
+
+func TestColdLoadFillsExclusiveFromMemory(t *testing.T) {
+	k, s := rig(2, core.DefaultPolicy())
+	s.Mem.WriteWord(0x1000, 42)
+	if v := load(t, k, s.Ctrls[0], 0x1000); v != 42 {
+		t.Fatalf("load = %d, want 42", v)
+	}
+	if st := stateOf(s.Ctrls[0], 0x1000); st != cache.Exclusive {
+		t.Fatalf("state = %v, want E (sole copy from memory)", st)
+	}
+	if err := s.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSecondReaderGetsSharedOwnerToO(t *testing.T) {
+	k, s := rig(2, core.DefaultPolicy())
+	s.Mem.WriteWord(0x1000, 7)
+	load(t, k, s.Ctrls[0], 0x1000)
+	if v := load(t, k, s.Ctrls[1], 0x1000); v != 7 {
+		t.Fatalf("second reader got %d", v)
+	}
+	if st := stateOf(s.Ctrls[0], 0x1000); st != cache.Owned {
+		t.Fatalf("supplier state = %v, want O", st)
+	}
+	if st := stateOf(s.Ctrls[1], 0x1000); st != cache.Shared {
+		t.Fatalf("reader state = %v, want S", st)
+	}
+	if err := s.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreMissGetsModified(t *testing.T) {
+	k, s := rig(2, core.DefaultPolicy())
+	store(t, k, s.Ctrls[0], 0x2000, 99)
+	if st := stateOf(s.Ctrls[0], 0x2000); st != cache.Modified {
+		t.Fatalf("state = %v, want M", st)
+	}
+	if v := load(t, k, s.Ctrls[0], 0x2000); v != 99 {
+		t.Fatalf("readback = %d", v)
+	}
+}
+
+func TestCacheToCacheTransferOnWrite(t *testing.T) {
+	k, s := rig(2, core.DefaultPolicy())
+	store(t, k, s.Ctrls[0], 0x2000, 5)
+	store(t, k, s.Ctrls[1], 0x2000, 6) // GetX serviced by P0, invalidating it
+	if st := stateOf(s.Ctrls[0], 0x2000); st != cache.Invalid {
+		t.Fatalf("old owner state = %v, want I", st)
+	}
+	if st := stateOf(s.Ctrls[1], 0x2000); st != cache.Modified {
+		t.Fatalf("new owner state = %v, want M", st)
+	}
+	if v := load(t, k, s.Ctrls[0], 0x2000); v != 6 {
+		t.Fatalf("P0 re-read = %d, want 6", v)
+	}
+	if err := s.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpgradeFromShared(t *testing.T) {
+	k, s := rig(2, core.DefaultPolicy())
+	s.Mem.WriteWord(0x3000, 1)
+	load(t, k, s.Ctrls[0], 0x3000)
+	load(t, k, s.Ctrls[1], 0x3000) // P0: O, P1: S
+	store(t, k, s.Ctrls[1], 0x3000, 2)
+	if st := stateOf(s.Ctrls[1], 0x3000); st != cache.Modified {
+		t.Fatalf("upgrader state = %v, want M", st)
+	}
+	if st := stateOf(s.Ctrls[0], 0x3000); st != cache.Invalid {
+		t.Fatalf("old owner state = %v, want I", st)
+	}
+	if s.Ctrls[1].Stats().Upgrades != 1 {
+		t.Fatalf("upgrades = %d, want 1", s.Ctrls[1].Stats().Upgrades)
+	}
+	if v := load(t, k, s.Ctrls[0], 0x3000); v != 2 {
+		t.Fatalf("P0 re-read = %d, want 2", v)
+	}
+}
+
+func TestSilentEtoMUpgrade(t *testing.T) {
+	k, s := rig(1, core.DefaultPolicy())
+	load(t, k, s.Ctrls[0], 0x4000) // E
+	before := s.Bus.Stats().Txns[bus.Upgrade] + s.Bus.Stats().Txns[bus.GetX]
+	store(t, k, s.Ctrls[0], 0x4000, 3)
+	after := s.Bus.Stats().Txns[bus.Upgrade] + s.Bus.Stats().Txns[bus.GetX]
+	if after != before {
+		t.Fatal("E->M should be silent (no bus transaction)")
+	}
+	if st := stateOf(s.Ctrls[0], 0x4000); st != cache.Modified {
+		t.Fatalf("state = %v, want M", st)
+	}
+}
+
+func TestLLSCSuccess(t *testing.T) {
+	k, s := rig(2, core.DefaultPolicy())
+	var llv uint64
+	fired := false
+	s.Ctrls[0].LL(0x5000, func(v uint64, ok bool) { llv, fired = v, true })
+	k.RunUntil(func() bool { return fired })
+	if llv != 0 {
+		t.Fatalf("LL = %d", llv)
+	}
+	scOK := uint64(99)
+	fired = false
+	s.Ctrls[0].SC(0x5000, 1, func(v uint64, ok bool) { scOK, fired = v, true })
+	k.RunUntil(func() bool { return fired })
+	if scOK != 1 {
+		t.Fatal("SC should succeed with intact link")
+	}
+	if v := load(t, k, s.Ctrls[0], 0x5000); v != 1 {
+		t.Fatalf("value after SC = %d", v)
+	}
+}
+
+func TestLLSCFailsAfterInvalidation(t *testing.T) {
+	k, s := rig(2, core.DefaultPolicy())
+	fired := false
+	s.Ctrls[0].LL(0x5000, func(uint64, bool) { fired = true })
+	k.RunUntil(func() bool { return fired })
+	// P1 steals the line before P0's SC.
+	store(t, k, s.Ctrls[1], 0x5000, 77)
+	var res uint64 = 99
+	fired = false
+	s.Ctrls[0].SC(0x5000, 1, func(v uint64, ok bool) { res, fired = v, true })
+	k.RunUntil(func() bool { return fired })
+	if res != 0 {
+		t.Fatal("SC must fail after external invalidation")
+	}
+	if v := load(t, k, s.Ctrls[0], 0x5000); v != 77 {
+		t.Fatalf("value = %d, want 77 (SC must not have written)", v)
+	}
+}
+
+func TestSwapAtomic(t *testing.T) {
+	k, s := rig(2, core.DefaultPolicy())
+	s.Mem.WriteWord(0x6000, 10)
+	var old uint64
+	fired := false
+	s.Ctrls[0].Swap(0x6000, 20, func(v uint64, ok bool) { old, fired = v, true })
+	k.RunUntil(func() bool { return fired })
+	if old != 10 {
+		t.Fatalf("swap old = %d, want 10", old)
+	}
+	if v := load(t, k, s.Ctrls[1], 0x6000); v != 20 {
+		t.Fatalf("post-swap value = %d, want 20", v)
+	}
+}
+
+func TestCASSemantics(t *testing.T) {
+	k, s := rig(1, core.DefaultPolicy())
+	s.Mem.WriteWord(0x6000, 5)
+	var seen uint64
+	fired := false
+	s.Ctrls[0].CAS(0x6000, 4, 9, func(v uint64, ok bool) { seen, fired = v, true })
+	k.RunUntil(func() bool { return fired })
+	if seen != 5 {
+		t.Fatalf("CAS observed %d, want 5", seen)
+	}
+	if v := load(t, k, s.Ctrls[0], 0x6000); v != 5 {
+		t.Fatal("failed CAS must not write")
+	}
+	fired = false
+	s.Ctrls[0].CAS(0x6000, 5, 9, func(v uint64, ok bool) { fired = true })
+	k.RunUntil(func() bool { return fired })
+	if v := load(t, k, s.Ctrls[0], 0x6000); v != 9 {
+		t.Fatal("successful CAS must write")
+	}
+}
+
+func TestFetchAdd(t *testing.T) {
+	k, s := rig(2, core.DefaultPolicy())
+	for i := 0; i < 5; i++ {
+		fired := false
+		s.Ctrls[i%2].FetchAdd(0x7000, 3, func(uint64, bool) { fired = true })
+		k.RunUntil(func() bool { return fired })
+	}
+	if v := load(t, k, s.Ctrls[0], 0x7000); v != 15 {
+		t.Fatalf("counter = %d, want 15", v)
+	}
+}
+
+func TestWritebackOnEvictionReachesMemory(t *testing.T) {
+	k := sim.New(1)
+	cfg := testConfig()
+	cfg.Cache = cache.Config{SizeBytes: 256, Ways: 2, VictimEntries: 2} // 2 sets
+	engines := []*core.Engine{core.NewEngine(0, core.DefaultPolicy())}
+	s := NewSystem(k, 1, cfg, engines)
+	c := s.Ctrls[0]
+	// Write 4 lines mapping to set 0 (stride 2 lines): evicts dirty lines.
+	for i := 0; i < 4; i++ {
+		store(t, k, c, memsys.Addr(i*2*memsys.LineBytes), uint64(100+i))
+	}
+	k.RunUntil(func() bool { return s.Quiescent() })
+	for i := 0; i < 4; i++ {
+		a := memsys.Addr(i * 2 * memsys.LineBytes)
+		if v := s.ArchWord(a); v != uint64(100+i) {
+			t.Fatalf("line %d arch value = %d, want %d", i, v, 100+i)
+		}
+	}
+	if c.Stats().Writebacks == 0 {
+		t.Fatal("expected dirty evictions to write back")
+	}
+	// Reload the first line: must come back with the written value.
+	if v := load(t, k, c, 0); v != 100 {
+		t.Fatalf("reload = %d, want 100", v)
+	}
+}
+
+func TestSpinSubscriberWakesOnInvalidation(t *testing.T) {
+	k, s := rig(2, core.DefaultPolicy())
+	load(t, k, s.Ctrls[0], 0x8000) // cache it
+	woken := false
+	s.Ctrls[0].SubscribeLine(0x8000, func() { woken = true })
+	store(t, k, s.Ctrls[1], 0x8000, 1)
+	if !woken {
+		t.Fatal("subscriber not notified on invalidation")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() sim.Time {
+		k, s := rig(4, core.DefaultPolicy())
+		for i, c := range s.Ctrls {
+			a := memsys.Addr(0x9000)
+			fired := false
+			c.FetchAdd(a+memsys.Addr(i*8), uint64(i), func(uint64, bool) { fired = true })
+			k.RunUntil(func() bool { return fired })
+		}
+		k.RunUntil(func() bool { return s.Quiescent() })
+		return k.Now()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic: %d vs %d cycles", a, b)
+	}
+}
+
+func TestArchWordSeesOwnerCopy(t *testing.T) {
+	k, s := rig(2, core.DefaultPolicy())
+	store(t, k, s.Ctrls[0], 0xa000, 123)
+	// Memory is stale; ArchWord must read the M copy.
+	if v := s.ArchWord(0xa000); v != 123 {
+		t.Fatalf("ArchWord = %d, want 123", v)
+	}
+	if s.Mem.ReadWord(0xa000) == 123 {
+		t.Skip("memory unexpectedly fresh; writeback happened early")
+	}
+}
+
+// TestWritebackRaceSupply: a dirty line evicted (write-back in flight) must
+// still be supplied by its last owner, and a GetX that consumes it cancels
+// the stale write-back so memory cannot be corrupted by ordering races.
+func TestWritebackRaceSupply(t *testing.T) {
+	k := sim.New(1)
+	cfg := testConfig()
+	cfg.Cache = cache.Config{SizeBytes: 256, Ways: 2, VictimEntries: 2} // 2 sets
+	engines := []*core.Engine{core.NewEngine(0, core.DefaultPolicy()), core.NewEngine(1, core.DefaultPolicy())}
+	s := NewSystem(k, 2, cfg, engines)
+	p0, p1 := s.Ctrls[0], s.Ctrls[1]
+
+	// P0 dirties line 0, then evicts it by filling its set.
+	store(t, k, p0, 0x000, 111)
+	fired := false
+	p0.Store(0x100, 1, func(uint64, bool) {}) // same set (2 sets, stride 128)
+	p0.Store(0x200, 2, func(uint64, bool) { fired = true })
+	// While the write-back may still be in flight, P1 takes the line
+	// exclusively and writes a NEWER value.
+	var done bool
+	p1.Store(0x000, 222, func(uint64, bool) { done = true })
+	k.RunUntil(func() bool { return fired && done && s.Quiescent() })
+
+	if v := s.ArchWord(0x000); v != 222 {
+		t.Fatalf("line = %d, want the new owner's 222 (stale write-back leaked?)", v)
+	}
+	// Force P1's copy out so memory must be consulted.
+	store(t, k, p1, 0x100, 3)
+	store(t, k, p1, 0x200, 4)
+	k.RunUntil(s.Quiescent)
+	if v := s.ArchWord(0x000); v != 222 {
+		t.Fatalf("after writeback round-trip: %d, want 222", v)
+	}
+	if err := s.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMaskedLineStopsAnsweringSnoops: after deferring an ownership request
+// the holder becomes a lame-duck supplier — it keeps the data for the
+// deferred requester but no longer claims owner-of-record.
+func TestMaskedLineMasksOwnership(t *testing.T) {
+	k, s := rig(2, core.DefaultPolicy())
+	p0, p1 := s.Ctrls[0], s.Ctrls[1]
+	begin(p0)
+	specStore(t, p0, lineA, 1)
+	k.RunUntil(s.Quiescent)
+
+	begin(p1)
+	specStore(t, p1, lineA, 2) // deferred by P0 (earlier stamp wins)
+	k.RunUntil(func() bool { return p0.Engine().Stats().Deferrals == 1 })
+
+	if p0.SnoopOwner(lineA) {
+		t.Fatal("masked holder must not claim owner-of-record")
+	}
+	if !p1.SnoopOwner(lineA) {
+		t.Fatal("the deferred requester is the pending owner-of-record")
+	}
+	l := p0.Cache().Probe(lineA)
+	if l == nil || !l.Masked {
+		t.Fatal("P0's line should be masked")
+	}
+	// Commit hands the line over and unmasks by invalidation.
+	d0, _ := asyncCommit(p0)
+	k.RunUntil(func() bool { return *d0 })
+	k.RunUntil(s.Quiescent)
+	if p0.Cache().Probe(lineA) != nil {
+		t.Fatal("served deferred GetX must invalidate the old copy")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// TSO store buffer
+// ---------------------------------------------------------------------------
+
+func sbRig(n, entries int) (*sim.Kernel, *System) {
+	k := sim.New(1)
+	cfg := testConfig()
+	cfg.StoreBufferEntries = entries
+	engines := make([]*core.Engine, n)
+	for i := range engines {
+		engines[i] = core.NewEngine(i, core.DefaultPolicy())
+	}
+	return k, NewSystem(k, n, cfg, engines)
+}
+
+// TestStoreBufferHidesStoreLatency: a buffered store completes in the same
+// event; the drain happens in the background.
+func TestStoreBufferHidesStoreLatency(t *testing.T) {
+	k, s := sbRig(1, 8)
+	p0 := s.Ctrls[0]
+	fired := false
+	p0.Store(0x1000, 7, func(uint64, bool) { fired = true })
+	if !fired {
+		t.Fatal("buffered store should complete immediately")
+	}
+	if k.Now() != 0 {
+		t.Fatal("no simulated time should pass at retire")
+	}
+	k.RunUntil(s.Quiescent)
+	if v := s.ArchWord(0x1000); v != 7 {
+		t.Fatalf("drained value = %d, want 7", v)
+	}
+}
+
+// TestStoreBufferForwardsOwnStores (TSO load→store forwarding).
+func TestStoreBufferForwarding(t *testing.T) {
+	k, s := sbRig(1, 8)
+	p0 := s.Ctrls[0]
+	p0.Store(0x1000, 7, func(uint64, bool) {})
+	var got uint64
+	fired := false
+	p0.Load(0x1000, false, func(v uint64, ok bool) { got, fired = v, true })
+	if !fired || got != 7 {
+		t.Fatalf("forwarded load = %d fired=%v, want 7 immediately", got, fired)
+	}
+	k.RunUntil(s.Quiescent)
+}
+
+// TestStoreBufferDrainsInOrder: two stores to different lines become
+// globally visible in program order.
+func TestStoreBufferDrainsInOrder(t *testing.T) {
+	k, s := sbRig(2, 8)
+	p0, p1 := s.Ctrls[0], s.Ctrls[1]
+	p0.Store(0x1000, 1, func(uint64, bool) {})
+	p0.Store(0x2000, 1, func(uint64, bool) {})
+	// Poll from P1: whenever the second store is visible, the first must be.
+	violated := false
+	var poll func()
+	poll = func() {
+		fired := false
+		p1.Load(0x2000, false, func(v2 uint64, ok bool) {
+			p1.Load(0x1000, false, func(v1 uint64, ok2 bool) {
+				if v2 == 1 && v1 != 1 {
+					violated = true
+				}
+				fired = true
+			})
+		})
+		_ = fired
+		if !s.Quiescent() {
+			k.After(7, poll)
+		}
+	}
+	k.After(3, poll)
+	k.RunUntil(s.Quiescent)
+	if violated {
+		t.Fatal("store order inverted: second store visible before first")
+	}
+	if s.ArchWord(0x1000) != 1 || s.ArchWord(0x2000) != 1 {
+		t.Fatal("stores lost")
+	}
+}
+
+// TestAtomicsFenceStoreBuffer: an atomic after buffered stores observes
+// them drained (its own read sees the final architectural state).
+func TestAtomicsFenceStoreBuffer(t *testing.T) {
+	k, s := sbRig(1, 8)
+	p0 := s.Ctrls[0]
+	p0.Store(0x1000, 5, func(uint64, bool) {})
+	var old uint64
+	fired := false
+	p0.FetchAdd(0x1000, 1, func(v uint64, ok bool) { old, fired = v, true })
+	k.RunUntil(func() bool { return fired })
+	if old != 5 {
+		t.Fatalf("atomic observed %d, want the drained 5", old)
+	}
+	k.RunUntil(s.Quiescent)
+	if v := s.ArchWord(0x1000); v != 6 {
+		t.Fatalf("final = %d, want 6", v)
+	}
+}
+
+// TestStoreBufferFullStalls: the buffer bounds outstanding stores.
+func TestStoreBufferFullStalls(t *testing.T) {
+	k, s := sbRig(1, 2)
+	p0 := s.Ctrls[0]
+	completed := 0
+	for i := 0; i < 4; i++ {
+		p0.Store(memsys.Addr(0x1000+i*64), uint64(i), func(uint64, bool) { completed++ })
+	}
+	if completed >= 4 {
+		t.Fatalf("all %d stores retired instantly into a 2-entry buffer", completed)
+	}
+	k.RunUntil(s.Quiescent)
+	if completed != 4 {
+		t.Fatalf("completed = %d, want 4 after drains", completed)
+	}
+	for i := 0; i < 4; i++ {
+		if v := s.ArchWord(memsys.Addr(0x1000 + i*64)); v != uint64(i) {
+			t.Fatalf("store %d lost", i)
+		}
+	}
+}

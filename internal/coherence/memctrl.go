@@ -1,0 +1,66 @@
+package coherence
+
+import (
+	"tlrsim/internal/bus"
+	"tlrsim/internal/memsys"
+)
+
+// MemController models the shared L2 plus memory behind it (Table 2: 4 MB L2
+// at 12 cycles, memory at 70 cycles). The L2 is modelled as inclusive of
+// everything ever fetched: the first touch of a line pays the memory
+// latency, later supplier-of-last-resort fills pay the L2 latency. Capacity
+// misses in a 4 MB L2 are irrelevant at our workload footprints.
+type MemController struct {
+	sys  *System
+	inL2 map[memsys.Addr]bool
+}
+
+func newMemController(s *System) *MemController {
+	return &MemController{sys: s, inL2: make(map[memsys.Addr]bool)}
+}
+
+// SnoopOwner: memory is the implicit default owner; it never claims.
+func (m *MemController) SnoopOwner(memsys.Addr) bool { return false }
+
+// SnoopShared: memory copies don't count as sharers.
+func (m *MemController) SnoopShared(memsys.Addr) bool { return false }
+
+// SnoopNack: memory never refuses a request.
+func (m *MemController) SnoopNack(*bus.Txn) bool { return false }
+
+// Snoop supplies data when no cache owns the line, and absorbs write-backs.
+func (m *MemController) Snoop(t *bus.Txn, owner int, shared bool) {
+	switch t.Kind {
+	case bus.WriteBack:
+		if !t.Cancel {
+			m.sys.Mem.WriteLine(t.Line, t.WBData)
+		}
+		m.inL2[t.Line] = true
+		m.sys.Bus.Complete()
+	case bus.GetS, bus.GetX:
+		if owner != bus.MemID || t.Nacked {
+			return
+		}
+		lat := m.sys.cfg.MemLat
+		if m.inL2[t.Line] {
+			lat = m.sys.cfg.L2Lat
+		}
+		m.inL2[t.Line] = true
+		line, req, src := t.Line, t.ID, t.Src
+		sharedResp := shared && t.Kind == bus.GetS
+		m.sys.K.After(lat, func() {
+			m.sys.Bus.Send(src, bus.DataResp{
+				Req:    req,
+				Line:   line,
+				Data:   m.sys.Mem.ReadLine(line),
+				From:   bus.MemID,
+				Shared: sharedResp,
+			})
+		})
+	case bus.Upgrade:
+		// The requester already has data; nothing for memory to do.
+	}
+}
+
+// Deliver: memory receives no data-network messages in this protocol.
+func (m *MemController) Deliver(msg bus.Msg) {}

@@ -1,0 +1,140 @@
+package coherence
+
+import (
+	"tlrsim/internal/memsys"
+)
+
+// storeBuffer is the TSO store buffer for NON-speculative stores (Table 2's
+// "aggressive implementation" of total store ordering [8]): a plain store
+// retires into the buffer in one cycle and drains to the cache in program
+// order in the background, hiding store miss latency — most visibly the
+// lock-release store of a BASE critical section. The issuing processor
+// forwards its own buffered values; other processors see a store only when
+// it drains (its global ordering point, which is also when the functional
+// checker applies it).
+//
+// Ordering rules implemented here:
+//   - store→store: drains strictly in FIFO order;
+//   - load→own-store: forwards the newest buffered value per word;
+//   - atomics (LL/SC, Swap, CAS, FetchAdd) and transaction begin/commit
+//     fence: they wait for the buffer to empty first.
+type storeBuffer struct {
+	entries  []sbEntry
+	max      int
+	draining bool
+	onEmpty  []func()
+
+	// full-stall support: stores arriving at a full buffer wait here.
+	onSpace []func()
+}
+
+type sbEntry struct {
+	addr memsys.Addr
+	val  uint64
+}
+
+func newStoreBuffer(max int) *storeBuffer {
+	if max <= 0 {
+		return nil
+	}
+	return &storeBuffer{max: max}
+}
+
+// forward returns the newest buffered value for a word, if any.
+func (sb *storeBuffer) forward(a memsys.Addr) (uint64, bool) {
+	for i := len(sb.entries) - 1; i >= 0; i-- {
+		if sb.entries[i].addr == a {
+			return sb.entries[i].val, true
+		}
+	}
+	return 0, false
+}
+
+// empty reports whether nothing is buffered.
+func (sb *storeBuffer) empty() bool { return len(sb.entries) == 0 }
+
+// whenEmpty runs fn once the buffer drains (immediately if already empty).
+func (sb *storeBuffer) whenEmpty(fn func()) {
+	if sb.empty() {
+		fn()
+		return
+	}
+	sb.onEmpty = append(sb.onEmpty, fn)
+}
+
+// push buffers a store; full=false means the caller must wait for space.
+func (sb *storeBuffer) push(a memsys.Addr, v uint64) bool {
+	if len(sb.entries) >= sb.max {
+		return false
+	}
+	sb.entries = append(sb.entries, sbEntry{a, v})
+	return true
+}
+
+// whenSpace runs fn once an entry drains.
+func (sb *storeBuffer) whenSpace(fn func()) { sb.onSpace = append(sb.onSpace, fn) }
+
+// sbStore is the CPU-facing non-speculative store entry point when the
+// store buffer is enabled.
+func (c *Controller) sbStore(a memsys.Addr, v uint64, done OpDone) {
+	if !c.sb.push(a, v) {
+		// Buffer full: the store (and the processor) stalls for space.
+		c.sb.whenSpace(func() { c.sbStore(a, v, done) })
+		return
+	}
+	c.sbDrain()
+	done(v, true)
+}
+
+// sbDrain retires the head entry through the normal blocking store path.
+func (c *Controller) sbDrain() {
+	if c.sb.draining || c.sb.empty() {
+		return
+	}
+	c.sb.draining = true
+	head := c.sb.entries[0]
+	c.storeExec(head.addr, head.val, func(_ uint64, ok bool) {
+		c.sb.draining = false
+		c.sb.entries = c.sb.entries[1:]
+		if waiters := c.sb.onSpace; len(waiters) > 0 {
+			c.sb.onSpace = nil
+			for _, fn := range waiters {
+				fn()
+			}
+		}
+		if c.sb.empty() {
+			fns := c.sb.onEmpty
+			c.sb.onEmpty = nil
+			for _, fn := range fns {
+				fn()
+			}
+		}
+		c.sbDrain()
+	})
+}
+
+// Fence completes fn after all buffered stores have drained (no-op without
+// a store buffer). Atomics and transaction boundaries use it.
+func (c *Controller) Fence(fn func()) {
+	if c.sb == nil {
+		fn()
+		return
+	}
+	c.sb.whenEmpty(fn)
+}
+
+// sbForward lets loads observe the processor's own buffered stores.
+func (c *Controller) sbForward(a memsys.Addr) (uint64, bool) {
+	if c.sb == nil {
+		return 0, false
+	}
+	return c.sb.forward(a)
+}
+
+// storeBufferedLines reports buffered entries (quiescence checks).
+func (c *Controller) storeBufferedLen() int {
+	if c.sb == nil {
+		return 0
+	}
+	return len(c.sb.entries)
+}

@@ -1,0 +1,169 @@
+// Package coherence binds the cache arrays to the bus with a MOESI broadcast
+// snooping protocol modelled on the Sun Gigaplane (paper §5.3 / Table 2) and
+// implements the mechanism half of TLR: request deferral, marker and probe
+// propagation, atomic commit of the speculative write buffer, and
+// misspeculation recovery. Every policy decision is delegated to the
+// per-processor core.Engine.
+//
+// The protocol is split-transaction: a request is globally ordered when the
+// address bus grants it, and the owner-of-record changes at that instant even
+// though data arrives arbitrarily later over the data network. Pending owners
+// track successor requests in their MSHRs (the coherence chains of §3.1.1).
+package coherence
+
+import (
+	"fmt"
+
+	"tlrsim/internal/bus"
+	"tlrsim/internal/cache"
+	"tlrsim/internal/checker"
+	"tlrsim/internal/core"
+	"tlrsim/internal/memsys"
+	"tlrsim/internal/sim"
+	"tlrsim/internal/trace"
+)
+
+// Config holds memory-system parameters (Table 2 values are the defaults in
+// the root package).
+type Config struct {
+	Cache            cache.Config
+	Bus              bus.Config
+	L2Lat            uint64 // L2 hit latency (12)
+	MemLat           uint64 // memory access latency (70)
+	WriteBufferLines int    // speculative write buffer capacity in lines (64)
+
+	// StoreBufferEntries enables a TSO store buffer for non-speculative
+	// stores (0 = blocking stores). Stores retire into it in one cycle and
+	// drain to the cache in order in the background; atomics and
+	// transaction boundaries fence on it.
+	StoreBufferEntries int
+}
+
+// System is one simulated shared-memory multiprocessor.
+type System struct {
+	K     *sim.Kernel
+	Bus   *bus.Bus
+	Mem   *memsys.Memory
+	Ctrls []*Controller
+	MemC  *MemController
+
+	// Check, when attached, is the functional checker validating every
+	// commit and plain access against an architectural shadow (§5.3).
+	Check *checker.Checker
+
+	// Tracer, when attached, records structured protocol events.
+	Tracer *trace.Tracer
+
+	cfg       Config
+	lockLines map[memsys.Addr]bool
+}
+
+// AttachChecker enables the functional checker; workload Setup writes are
+// mirrored into its shadow automatically.
+func (s *System) AttachChecker(c *checker.Checker) {
+	s.Check = c
+	s.Mem.OnSetupWrite = c.Preload
+}
+
+// Trace records a protocol event if tracing is attached.
+func (s *System) Trace(cpu int, kind trace.Kind, line memsys.Addr, info string) {
+	if s.Tracer != nil {
+		s.Tracer.Record(trace.Event{At: s.K.Now(), CPU: cpu, Kind: kind, Line: line, Info: info})
+	}
+}
+
+// NewSystem wires n processors' cache controllers, the memory controller,
+// and the bus. Engines are supplied per CPU so schemes and policies can vary
+// in tests.
+func NewSystem(k *sim.Kernel, n int, cfg Config, engines []*core.Engine) *System {
+	if len(engines) != n {
+		panic("coherence: need one engine per CPU")
+	}
+	s := &System{
+		K:         k,
+		Bus:       bus.New(k, cfg.Bus),
+		Mem:       memsys.NewMemory(),
+		cfg:       cfg,
+		lockLines: make(map[memsys.Addr]bool),
+	}
+	s.Ctrls = make([]*Controller, n)
+	for i := 0; i < n; i++ {
+		s.Ctrls[i] = newController(s, i, engines[i])
+		s.Bus.Attach(i, s.Ctrls[i], s.Ctrls[i])
+	}
+	s.MemC = newMemController(s)
+	s.Bus.Attach(bus.MemID, s.MemC, s.MemC)
+	return s
+}
+
+// RegisterLock marks a line as holding a lock variable, for stall
+// attribution (Figure 11's lock/non-lock breakdown).
+func (s *System) RegisterLock(a memsys.Addr) { s.lockLines[a.Line()] = true }
+
+// IsLockLine reports whether the line holds a registered lock.
+func (s *System) IsLockLine(a memsys.Addr) bool { return s.lockLines[a.Line()] }
+
+// CheckCoherence validates the global single-writer/multi-reader invariant
+// and owner uniqueness; tests call it at quiescent points.
+func (s *System) CheckCoherence() error {
+	type holder struct {
+		cpu int
+		st  cache.State
+	}
+	byLine := map[memsys.Addr][]holder{}
+	for _, c := range s.Ctrls {
+		c.cache.ForEachValid(func(l *cache.Line) {
+			byLine[l.Tag] = append(byLine[l.Tag], holder{c.id, l.State})
+		})
+	}
+	for line, hs := range byLine {
+		writable, owners := 0, 0
+		for _, h := range hs {
+			if h.st.Writable() {
+				writable++
+			}
+			if h.st.IsOwner() {
+				owners++
+			}
+		}
+		if writable > 1 {
+			return fmt.Errorf("line %s writable in %d caches: %v", line, writable, hs)
+		}
+		if writable == 1 && len(hs) > 1 {
+			return fmt.Errorf("line %s writable alongside other copies: %v", line, hs)
+		}
+		if owners > 1 {
+			return fmt.Errorf("line %s has %d owners: %v", line, owners, hs)
+		}
+	}
+	return nil
+}
+
+// ArchWord returns the architecturally current value of the word at a: the
+// owner cache's committed copy if one exists, else memory. Only meaningful
+// at quiescent points (no transaction in flight touching the word).
+func (s *System) ArchWord(a memsys.Addr) uint64 {
+	line := a.Line()
+	for _, c := range s.Ctrls {
+		if l := c.cache.Probe(line); l != nil && l.State.IsOwner() {
+			return l.Data[a.WordIndex()]
+		}
+		if d, ok := c.wbPending[line]; ok {
+			return d[a.WordIndex()]
+		}
+	}
+	return s.Mem.ReadWord(a)
+}
+
+// Quiescent reports whether no bus transactions or MSHRs are outstanding.
+func (s *System) Quiescent() bool {
+	if s.Bus.Outstanding() != 0 || s.Bus.Queued() != 0 {
+		return false
+	}
+	for _, c := range s.Ctrls {
+		if len(c.mshrs) != 0 || len(c.draining) != 0 || c.storeBufferedLen() != 0 {
+			return false
+		}
+	}
+	return true
+}

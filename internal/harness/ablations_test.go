@@ -1,0 +1,106 @@
+package harness
+
+import "testing"
+
+func TestNackVsDeferralShape(t *testing.T) {
+	o := opts()
+	o.Procs = []int{4, 16}
+	r, err := NackVsDeferral(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deferral masks the conflict and hands data over exactly at commit;
+	// NACK adds retry round-trips. Deferral must win at high fan-in.
+	def, nack := r.Runs["deferral"][16], r.Runs["NACK"][16]
+	if def.Cycles >= nack.Cycles {
+		t.Errorf("deferral (%d) should beat NACK (%d) at 16 processors", def.Cycles, nack.Cycles)
+	}
+	if nack.BusTxns <= def.BusTxns {
+		t.Errorf("NACK (%d bus txns) should generate more traffic than deferral (%d)",
+			nack.BusTxns, def.BusTxns)
+	}
+	// Both are correct (validated inside the runs) and both stay lock-free.
+	if def.Fallbacks != 0 {
+		t.Errorf("deferral fell back %d times", def.Fallbacks)
+	}
+}
+
+func TestDeferredQueueSweepShape(t *testing.T) {
+	o := opts()
+	r, err := DeferredQueueSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny := r.Runs["defer=1"][o.AppProcs]
+	big := r.Runs["defer=16"][o.AppProcs]
+	if big.Cycles > tiny.Cycles {
+		t.Errorf("a 16-entry queue (%d cycles) should not lose to a 1-entry queue (%d)",
+			big.Cycles, tiny.Cycles)
+	}
+	if tiny.DeferOverflows == 0 {
+		t.Error("a 1-entry queue should overflow under 15-reader fan-in")
+	}
+	if big.DeferOverflows >= tiny.DeferOverflows {
+		t.Errorf("a 16-entry queue (%d overflows) should overflow less than a 1-entry queue (%d)",
+			big.DeferOverflows, tiny.DeferOverflows)
+	}
+}
+
+func TestVictimCacheSweepShape(t *testing.T) {
+	o := opts()
+	r, err := VictimCacheSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	none := r.Runs["victim=0"][4]
+	full := r.Runs["victim=16"][4]
+	// The victim cache extends the guaranteed speculative footprint: with
+	// it, fewer (or zero) resource fallbacks.
+	if full.Fallbacks > none.Fallbacks {
+		t.Errorf("victim=16 fallbacks (%d) should not exceed victim=0 (%d)",
+			full.Fallbacks, none.Fallbacks)
+	}
+	if none.Fallbacks == 0 {
+		t.Error("without a victim cache the 96-word transactions should overflow a 4KB set")
+	}
+}
+
+func TestRestartPenaltySweepShape(t *testing.T) {
+	o := opts()
+	o.Ops = 0.25
+	r, err := RestartPenaltySweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cheap := r.Runs["penalty=1"][o.AppProcs]
+	dear := r.Runs["penalty=1000"][o.AppProcs]
+	if dear.Cycles <= cheap.Cycles {
+		t.Errorf("a 1000-cycle restart penalty (%d cycles) should cost more than 1 (%d)",
+			dear.Cycles, cheap.Cycles)
+	}
+}
+
+func TestStoreBufferEffectShape(t *testing.T) {
+	o := opts()
+	r, err := StoreBufferEffect(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for label, runs := range r.Runs {
+		off, on := runs[0], runs[1]
+		s := float64(off.Cycles) / float64(on.Cycles)
+		// The finding this ablation documents: in an in-order model the
+		// store buffer is nearly neutral — it hides store latency off the
+		// critical path but DELAYS lock-release visibility on it, so
+		// contended apps can regress slightly. Anything outside a modest
+		// band is a bug, not a finding.
+		if s < 0.85 || s > 1.3 {
+			t.Errorf("%s: store buffer effect %.3f outside the plausible band", label, s)
+		}
+		// Under SLE/TLR critical-section stores are speculative (write
+		// buffer, not store buffer), so the effect must be tiny.
+		if len(label) >= 3 && label[len(label)-3:] == "TLR" && (s < 0.98 || s > 1.02) {
+			t.Errorf("%s: TLR should be nearly unaffected, got %.3f", label, s)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package locks
+
+import (
+	"testing"
+
+	"tlrsim/internal/memsys"
+)
+
+// seqOps is a sequential in-memory Ops fake: single-threaded semantics, so
+// SpinUntil on an unsatisfied predicate is a test failure (a real deadlock).
+type seqOps struct {
+	t    *testing.T
+	cpu  int
+	mem  map[memsys.Addr]uint64
+	link memsys.Addr
+	ok   bool
+}
+
+func newSeq(t *testing.T, cpu int, mem map[memsys.Addr]uint64) *seqOps {
+	return &seqOps{t: t, cpu: cpu, mem: mem}
+}
+
+func (s *seqOps) Load(a memsys.Addr) uint64     { return s.mem[a] }
+func (s *seqOps) Store(a memsys.Addr, v uint64) { s.mem[a] = v }
+func (s *seqOps) LL(a memsys.Addr) uint64       { s.link, s.ok = a, true; return s.mem[a] }
+func (s *seqOps) SC(a memsys.Addr, v uint64) bool {
+	if !s.ok || s.link != a {
+		return false
+	}
+	s.mem[a] = v
+	s.ok = false
+	return true
+}
+func (s *seqOps) Swap(a memsys.Addr, v uint64) uint64 {
+	old := s.mem[a]
+	s.mem[a] = v
+	return old
+}
+func (s *seqOps) CAS(a memsys.Addr, old, new uint64) uint64 {
+	cur := s.mem[a]
+	if cur == old {
+		s.mem[a] = new
+	}
+	return cur
+}
+func (s *seqOps) SpinUntil(a memsys.Addr, pred func(uint64) bool) uint64 {
+	if !pred(s.mem[a]) {
+		s.t.Fatalf("cpu %d would spin forever on %s (value %d)", s.cpu, a, s.mem[a])
+	}
+	return s.mem[a]
+}
+func (s *seqOps) CPUID() int { return s.cpu }
+
+func TestTTSAcquireFreeLock(t *testing.T) {
+	mem := map[memsys.Addr]uint64{}
+	o := newSeq(t, 0, mem)
+	AcquireTTS(o, 0x100)
+	if mem[0x100] != 1 {
+		t.Fatal("lock not taken")
+	}
+	ReleaseTTS(o, 0x100)
+	if mem[0x100] != 0 {
+		t.Fatal("lock not released")
+	}
+}
+
+func TestMCSUncontended(t *testing.T) {
+	al := memsys.NewAllocator(0)
+	m := NewMCS(al, 4)
+	mem := map[memsys.Addr]uint64{}
+	o := newSeq(t, 2, mem)
+	m.Acquire(o)
+	if mem[m.Tail] != 3 {
+		t.Fatalf("tail = %d, want 3 (cpu 2 + 1)", mem[m.Tail])
+	}
+	m.Release(o)
+	if mem[m.Tail] != 0 {
+		t.Fatal("tail not cleared on uncontended release")
+	}
+}
+
+func TestMCSHandoff(t *testing.T) {
+	al := memsys.NewAllocator(0)
+	m := NewMCS(al, 4)
+	mem := map[memsys.Addr]uint64{}
+	a, b := newSeq(t, 0, mem), newSeq(t, 1, mem)
+	// CPU0 acquires; CPU1 enqueues behind it (its spin would block, so
+	// drive the steps manually up to the spin).
+	m.Acquire(a)
+	me := uint64(b.CPUID()) + 1
+	n := m.nodes[b.CPUID()]
+	b.Store(n.Next, 0)
+	b.Store(n.Locked, 1)
+	pred := b.Swap(m.Tail, me)
+	if pred != 1 {
+		t.Fatalf("pred = %d, want 1 (cpu0)", pred)
+	}
+	b.Store(m.nodes[pred-1].Next, me)
+	// CPU0 releases: must hand to CPU1, not clear the tail.
+	m.Release(a)
+	if mem[m.Tail] != 2 {
+		t.Fatalf("tail = %d, want 2 (cpu1 still queued)", mem[m.Tail])
+	}
+	if mem[n.Locked] != 0 {
+		t.Fatal("successor was not granted the lock")
+	}
+	// CPU1 finishes its acquire (spin satisfied) and releases.
+	b.SpinUntil(n.Locked, func(v uint64) bool { return v == 0 })
+	m.Release(b)
+	if mem[m.Tail] != 0 {
+		t.Fatal("tail not cleared after last release")
+	}
+}
+
+func TestMCSWordsPaddedAndComplete(t *testing.T) {
+	al := memsys.NewAllocator(0)
+	m := NewMCS(al, 3)
+	words := m.Words()
+	if len(words) != 1+2*3 {
+		t.Fatalf("words = %d, want 7", len(words))
+	}
+	seen := map[memsys.Addr]bool{}
+	for _, w := range words {
+		if w != w.Line() {
+			t.Fatalf("word %s not line-padded", w)
+		}
+		if seen[w.Line()] {
+			t.Fatalf("two lock words share line %s", w.Line())
+		}
+		seen[w.Line()] = true
+	}
+}
+
+func TestSCFailsWithoutLink(t *testing.T) {
+	mem := map[memsys.Addr]uint64{}
+	o := newSeq(t, 0, mem)
+	if o.SC(0x40, 1) {
+		t.Fatal("SC without LL must fail in the fake too")
+	}
+	o.LL(0x40)
+	if !o.SC(0x40, 1) || o.SC(0x40, 2) {
+		t.Fatal("SC link semantics wrong in fake")
+	}
+}

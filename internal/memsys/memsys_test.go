@@ -1,0 +1,159 @@
+package memsys
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineAlignment(t *testing.T) {
+	cases := []struct {
+		a    Addr
+		line Addr
+		idx  int
+	}{
+		{0, 0, 0},
+		{8, 0, 1},
+		{56, 0, 7},
+		{64, 64, 0},
+		{0x1238, 0x1200, 7},
+		{0x1240, 0x1240, 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Line(); got != c.line {
+			t.Errorf("%s.Line() = %s, want %s", c.a, got, c.line)
+		}
+		if got := c.a.WordIndex(); got != c.idx {
+			t.Errorf("%s.WordIndex() = %d, want %d", c.a, got, c.idx)
+		}
+	}
+}
+
+func TestAligned(t *testing.T) {
+	if !Addr(16).Aligned() || Addr(17).Aligned() {
+		t.Fatal("Aligned misclassifies")
+	}
+}
+
+func TestMemoryReadWriteWord(t *testing.T) {
+	m := NewMemory()
+	if m.ReadWord(0x100) != 0 {
+		t.Fatal("untouched memory should read zero")
+	}
+	m.WriteWord(0x100, 42)
+	m.WriteWord(0x108, 43)
+	if m.ReadWord(0x100) != 42 || m.ReadWord(0x108) != 43 {
+		t.Fatal("word readback mismatch")
+	}
+	// Same line, different word, does not clobber.
+	if m.ReadWord(0x110) != 0 {
+		t.Fatal("neighbouring word should be zero")
+	}
+}
+
+func TestMemoryLineRoundTrip(t *testing.T) {
+	m := NewMemory()
+	var d LineData
+	for i := range d {
+		d[i] = uint64(i * 11)
+	}
+	m.WriteLine(0x2000, d)
+	got := m.ReadLine(0x2008) // any address in the line
+	if got != d {
+		t.Fatalf("line readback mismatch: %v != %v", got, d)
+	}
+	if m.ReadWord(0x2018) != 33 {
+		t.Fatal("word view of written line wrong")
+	}
+}
+
+func TestUnalignedPanics(t *testing.T) {
+	m := NewMemory()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unaligned access must panic")
+		}
+	}()
+	m.ReadWord(0x101)
+}
+
+func TestAllocatorWordsContiguous(t *testing.T) {
+	al := NewAllocator(0)
+	a := al.Word()
+	b := al.Word()
+	if b != a+WordBytes {
+		t.Fatalf("words not contiguous: %s then %s", a, b)
+	}
+	c := al.Words(10)
+	d := al.Word()
+	if d != c+10*WordBytes {
+		t.Fatalf("Words(10) did not advance: %s then %s", c, d)
+	}
+}
+
+func TestAllocatorPaddedWordsDistinctLines(t *testing.T) {
+	al := NewAllocator(0)
+	al.Word() // misalign
+	addrs := al.PaddedWords(16)
+	seen := map[Addr]bool{}
+	for _, a := range addrs {
+		if !a.Aligned() {
+			t.Fatalf("padded word %s unaligned", a)
+		}
+		if a != a.Line() {
+			t.Fatalf("padded word %s not at line start", a)
+		}
+		if seen[a.Line()] {
+			t.Fatalf("padded words share line %s", a.Line())
+		}
+		seen[a.Line()] = true
+	}
+}
+
+func TestAllocatorAlignLineIdempotent(t *testing.T) {
+	al := NewAllocator(0)
+	al.AlignLine()
+	first := al.Next()
+	al.AlignLine()
+	if al.Next() != first {
+		t.Fatal("AlignLine on aligned allocator must be a no-op")
+	}
+}
+
+// Property: Line() is idempotent and WordIndex is stable within a line.
+func TestPropertyLineMath(t *testing.T) {
+	f := func(raw uint64) bool {
+		a := Addr(raw &^ 7) // word align
+		l := a.Line()
+		return l.Line() == l && l%LineBytes == 0 && a >= l && a < l+LineBytes &&
+			int(a-l)/WordBytes == a.WordIndex()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: memory is last-writer-wins per word, independent of other words.
+func TestPropertyMemoryLastWriterWins(t *testing.T) {
+	type wr struct {
+		Slot uint8
+		Val  uint64
+	}
+	f := func(writes []wr) bool {
+		m := NewMemory()
+		want := map[Addr]uint64{}
+		for _, w := range writes {
+			a := Addr(w.Slot) * WordBytes
+			m.WriteWord(a, w.Val)
+			want[a] = w.Val
+		}
+		for a, v := range want {
+			if m.ReadWord(a) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

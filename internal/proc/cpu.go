@@ -1,0 +1,467 @@
+package proc
+
+import (
+	"fmt"
+
+	"tlrsim/internal/coherence"
+	"tlrsim/internal/core"
+	"tlrsim/internal/sim"
+	"tlrsim/internal/trace"
+)
+
+// Stats are per-CPU execution counters. Stall cycles are split into
+// lock-variable and other contributions, matching the breakdown of the
+// paper's Figure 11 (accounting is per blocking operation: the operation
+// that stalls the processor is charged the stall).
+type Stats struct {
+	Ops       uint64
+	Busy      uint64
+	LockStall uint64
+	DataStall uint64
+	Finish    sim.Time
+}
+
+// CPU drives one thread against the memory system.
+type CPU struct {
+	id   int
+	m    *Machine
+	ctrl *coherence.Controller
+	eng  *core.Engine
+
+	elide *core.ElisionPredictor
+	rmw   *core.RMWPredictor
+
+	tc     *TC
+	done   bool
+	finish sim.Time
+
+	seq         uint64
+	opActive    bool
+	opStart     sim.Time
+	curComplete func(result)
+
+	// pendingFallback forces the next Critical attempt on this CPU to
+	// acquire the lock (set after resource-class misspeculations and SLE's
+	// restart limit).
+	pendingFallback bool
+
+	// waitFree makes the next elision attempt wait until the lock is
+	// observed free (set after a predicted-free attempt found it held).
+	waitFree bool
+
+	// commitLockBound records whether the in-flight TxEnd was waiting on
+	// the elided lock line's fetch (stall attribution: the instruction that
+	// stalls commit is charged, Fig. 11 accounting).
+	commitLockBound bool
+
+	// stalledUntil models the thread being descheduled: no operation
+	// executes before this cycle (§4 stability experiments).
+	stalledUntil sim.Time
+
+	lastOp opKind
+
+	stats Stats
+}
+
+func newCPU(m *Machine, id int, ctrl *coherence.Controller, eng *core.Engine) *CPU {
+	cpu := &CPU{
+		id:    id,
+		m:     m,
+		ctrl:  ctrl,
+		eng:   eng,
+		elide: core.NewElisionPredictor(m.cfg.ElisionEntries),
+		rmw:   core.NewRMWPredictor(m.cfg.RMWEntries),
+	}
+	ctrl.OnAbort = cpu.onAbort
+	return cpu
+}
+
+// ID returns the processor id.
+func (cpu *CPU) ID() int { return cpu.id }
+
+// Stats returns this CPU's counters.
+func (cpu *CPU) Stats() *Stats { return &cpu.stats }
+
+// Engine returns the attached TLR/SLE engine (for result reporting).
+func (cpu *CPU) Engine() *core.Engine { return cpu.eng }
+
+// Ctrl returns the cache controller (for result reporting).
+func (cpu *CPU) Ctrl() *coherence.Controller { return cpu.ctrl }
+
+// Done reports whether the thread has finished.
+func (cpu *CPU) Done() bool { return cpu.done }
+
+// start launches the thread goroutine and schedules the first fetch.
+func (cpu *CPU) start(prog func(*TC)) {
+	cpu.tc = newTC(cpu)
+	tc := cpu.tc
+	go func() {
+		defer close(tc.ops)
+		prog(tc)
+	}()
+	cpu.m.K.At(cpu.m.K.Now(), func() { cpu.fetchNext() })
+}
+
+// fetchNext blocks (host-side) until the thread yields its next operation;
+// the thread is guaranteed to either send or finish.
+func (cpu *CPU) fetchNext() {
+	o, ok := <-cpu.tc.ops
+	if !ok {
+		cpu.done = true
+		cpu.finish = cpu.m.K.Now()
+		cpu.stats.Finish = cpu.finish
+		return
+	}
+	cpu.stats.Ops++
+	// One-cycle issue cost for every operation.
+	cpu.m.K.After(1, func() { cpu.startOp(o) })
+}
+
+func (cpu *CPU) startOp(o op) {
+	if now := cpu.m.K.Now(); now < cpu.stalledUntil {
+		// Descheduled: resume the operation when the quantum ends.
+		cpu.m.K.At(cpu.stalledUntil, func() { cpu.startOp(o) })
+		return
+	}
+	cpu.lastOp = o.kind
+	cpu.seq++
+	seq := cpu.seq
+	cpu.opActive = true
+	cpu.opStart = cpu.m.K.Now()
+	complete := func(r result) {
+		if cpu.seq != seq || !cpu.opActive {
+			return // stale completion (op already finished, e.g. by abort)
+		}
+		cpu.opActive = false
+		cpu.curComplete = nil
+		cpu.account(o, uint64(cpu.m.K.Now()-cpu.opStart))
+		cpu.tc.res <- r
+		cpu.fetchNext()
+	}
+	alive := func() bool { return cpu.seq == seq && cpu.opActive }
+	cpu.curComplete = complete
+
+	// A squashed transaction's thread may issue a few more operations while
+	// it unwinds to the restart point (the abort flag is only observable at
+	// operation boundaries). None of them may touch machine state — a store
+	// here would pollute the write buffer of the NEXT transaction attempt.
+	if cpu.eng.Aborted() && o.kind != opTxBegin {
+		complete(result{aborted: true})
+		return
+	}
+
+	switch o.kind {
+	case opLoad:
+		wantExcl := false
+		if cpu.useRMW() && o.site != 0 && cpu.eng.Depth() > 0 {
+			wantExcl = cpu.rmw.PredictExclusive(o.site)
+			cpu.rmw.NoteLoad(o.site, o.addr)
+		}
+		cpu.ctrl.Load(o.addr, wantExcl, func(v uint64, ok bool) {
+			complete(result{val: v, aborted: !ok})
+		})
+	case opStore:
+		if cpu.useRMW() && cpu.eng.Depth() > 0 {
+			cpu.rmw.NoteStore(o.addr)
+		}
+		cpu.ctrl.Store(o.addr, o.val, func(_ uint64, ok bool) {
+			complete(result{aborted: !ok})
+		})
+	case opLL:
+		cpu.ctrl.LL(o.addr, func(v uint64, ok bool) {
+			complete(result{val: v, aborted: !ok})
+		})
+	case opSC:
+		cpu.ctrl.SC(o.addr, o.val, func(v uint64, ok bool) {
+			complete(result{val: v, aborted: !ok})
+		})
+	case opSwap:
+		cpu.ctrl.Swap(o.addr, o.val, func(v uint64, ok bool) {
+			complete(result{val: v, aborted: !ok})
+		})
+	case opCAS:
+		cpu.ctrl.CAS(o.addr, o.old, o.val, func(v uint64, ok bool) {
+			complete(result{val: v, aborted: !ok})
+		})
+	case opFetchAdd:
+		cpu.ctrl.FetchAdd(o.addr, o.val, func(v uint64, ok bool) {
+			complete(result{val: v, aborted: !ok})
+		})
+	case opSpin:
+		cpu.spin(o, complete, alive)
+	case opCompute:
+		cpu.m.K.After(o.n, func() { complete(result{}) })
+	case opTxBegin:
+		cpu.txBegin(o, complete, alive)
+	case opTxEnd:
+		cpu.txEnd(o, complete)
+	case opCSEnter:
+		complete(result{ok: true})
+	case opCSExit:
+		cpu.eng.ExitCritical(false)
+		if cpu.eng.Depth() == 0 {
+			cpu.rmw.EndSection()
+			cpu.eng.ResetAttempt()
+		}
+		complete(result{ok: true})
+	case opUnelidable:
+		if cpu.eng.Speculating() {
+			cpu.ctrl.AbortTxn(core.ReasonResource)
+			// onAbort completed the op; nothing more to do.
+			return
+		}
+		complete(result{ok: true})
+	}
+}
+
+// onAbort squashes whatever operation the thread is blocked on so it can
+// unwind to the restart point.
+func (cpu *CPU) onAbort(core.Reason) {
+	if cpu.opActive && cpu.curComplete != nil {
+		cpu.curComplete(result{aborted: true})
+	}
+}
+
+func (cpu *CPU) useRMW() bool { return cpu.m.cfg.UseRMWPredictor }
+
+// spin implements the test&test&set-style local spin: re-check only when
+// the line's visibility changes.
+func (cpu *CPU) spin(o op, complete func(result), alive func() bool) {
+	var try func()
+	try = func() {
+		if !alive() {
+			return // the operation was already squashed by an abort
+		}
+		cpu.ctrl.Load(o.addr, false, func(v uint64, ok bool) {
+			if !alive() {
+				return
+			}
+			if !ok {
+				complete(result{aborted: true})
+				return
+			}
+			if o.pred(v) {
+				complete(result{val: v})
+				return
+			}
+			cpu.ctrl.SubscribeLine(o.addr, func() {
+				cpu.m.K.After(cpu.m.cfg.SpinRecheck, try)
+			})
+		})
+	}
+	try()
+}
+
+// txBegin decides how a Critical section executes: elide (speculate) or
+// acquire, per scheme, predictor confidence, nesting budget, and pending
+// fallback state. Restart penalties are charged here, at the re-dispatch of
+// a squashed transaction.
+func (cpu *CPU) txBegin(o op, complete func(result), alive func() bool) {
+	if cpu.eng.Aborted() {
+		if o.frames > 0 {
+			// A NESTED Critical inside the squashed transaction: the abort
+			// belongs to an enclosing elided frame, so this thread must
+			// keep unwinding to the restart point — only the outermost
+			// frame's retry may acknowledge the abort.
+			complete(result{aborted: true})
+			return
+		}
+		reason := cpu.eng.AbortReason()
+		cpu.eng.AckAbort()
+		if cpu.eng.ShouldFallback(reason) {
+			cpu.pendingFallback = true
+			cpu.elide.Failure(o.lock.ID)
+		}
+		cpu.m.K.After(cpu.m.cfg.RestartPenalty, func() {
+			if !alive() {
+				return
+			}
+			cpu.txBeginDispatch(o, complete, alive)
+		})
+		return
+	}
+	cpu.txBeginDispatch(o, complete, alive)
+}
+
+func (cpu *CPU) txBeginDispatch(o op, complete func(result), alive func() bool) {
+	// Transaction/critical-section boundaries fence the TSO store buffer:
+	// prior plain stores reach their global order before the checkpoint.
+	cpu.ctrl.Fence(func() {
+		if !alive() {
+			return
+		}
+		cpu.txBeginDispatchFenced(o, complete, alive)
+	})
+}
+
+func (cpu *CPU) txBeginDispatchFenced(o op, complete func(result), alive func() bool) {
+	switch cpu.m.cfg.Scheme {
+	case Base:
+		cpu.eng.EnterCritical(false)
+		o.lock.stats.Acquired++
+		complete(result{mode: CritAcquireTTS})
+		return
+	case MCS:
+		cpu.eng.EnterCritical(false)
+		o.lock.stats.Acquired++
+		complete(result{mode: CritAcquireMCS})
+		return
+	}
+	if cpu.pendingFallback || !cpu.eng.CanElide() || !cpu.elide.ShouldElide(o.lock.ID) {
+		if cpu.pendingFallback {
+			cpu.pendingFallback = false
+			cpu.eng.NoteFallback()
+			cpu.m.Sys.Trace(cpu.id, trace.Fallback, o.lock.Addr, "")
+		}
+		cpu.eng.EnterCritical(false)
+		o.lock.stats.Acquired++
+		complete(result{mode: CritAcquireTTS})
+		return
+	}
+	cpu.elideAttempt(o, complete, alive)
+}
+
+// elideAttempt elides the lock. The fast path predicts the lock free and
+// enters speculation immediately: the lock-word read (which puts the lock
+// line in the transaction's read set, so any writer restarts us) resolves
+// in the background, OVERLAPPED with critical-section execution — the key
+// latency-hiding property of SLE that a blocking acquire cannot have. The
+// commit waits for the check (commitReady requires no outstanding
+// speculative miss). If the prediction was wrong (lock actually held), the
+// transaction squashes and the retry takes the conservative path: wait for
+// the lock to be observed free before re-entering speculation.
+func (cpu *CPU) elideAttempt(o op, complete func(result), alive func() bool) {
+	if !cpu.waitFree {
+		cpu.eng.EnterCritical(true)
+		cpu.m.Sys.Trace(cpu.id, trace.TxnBegin, o.lock.Addr, "")
+		txSeq := cpu.eng.TxSeq()
+		cpu.ctrl.Load(o.lock.Addr, false, func(v uint64, ok bool) {
+			// Background resolution: the TxBegin op has long completed.
+			if !ok || !cpu.eng.Speculating() || cpu.eng.TxSeq() != txSeq {
+				return // the transaction already died; nothing to check
+			}
+			if v != 0 {
+				// Mispredicted: the lock was held. Squash and make the
+				// retry wait for a release.
+				cpu.waitFree = true
+				cpu.ctrl.AbortTxn(core.ReasonLockWrite)
+			}
+		})
+		complete(result{mode: CritElided})
+		return
+	}
+	// Conservative path after a lock-held misprediction.
+	var try func()
+	try = func() {
+		if !alive() {
+			return // the TxBegin was already squashed; a retry owns the CPU
+		}
+		cpu.ctrl.Load(o.lock.Addr, false, func(v uint64, ok bool) {
+			if !alive() {
+				return
+			}
+			if !ok {
+				complete(result{aborted: true})
+				return
+			}
+			if v != 0 {
+				// Lock held (some thread fell back and acquired): wait for
+				// the release invalidation. The wait is charged to the lock.
+				cpu.ctrl.SubscribeLine(o.lock.Addr, func() {
+					cpu.m.K.After(cpu.m.cfg.SpinRecheck, try)
+				})
+				return
+			}
+			cpu.eng.EnterCritical(true)
+			cpu.ctrl.Load(o.lock.Addr, false, func(v2 uint64, ok2 bool) {
+				if !alive() {
+					return
+				}
+				if !ok2 || cpu.eng.Aborted() {
+					complete(result{aborted: true})
+					return
+				}
+				if v2 != 0 {
+					// Acquired under us between observation and entry:
+					// squash the empty transaction and retry.
+					cpu.ctrl.AbortTxn(core.ReasonLockWrite)
+					return // onAbort already completed the op
+				}
+				cpu.waitFree = false
+				complete(result{mode: CritElided})
+			})
+		})
+	}
+	try()
+}
+
+// txEnd commits the transaction at the outermost elided level; inner elided
+// levels just pop (their effects commit with the outermost).
+func (cpu *CPU) txEnd(o op, complete func(result)) {
+	if cpu.eng.Aborted() {
+		complete(result{aborted: true})
+		return
+	}
+	cpu.commitLockBound = o.lock != nil && cpu.ctrl.SpecMissOutstanding(o.lock.Addr)
+	if !cpu.eng.Outermost() {
+		cpu.eng.ExitCritical(true)
+		o.lock.stats.Elided++
+		complete(result{ok: true})
+		return
+	}
+	cpu.ctrl.TryCommit(func(ok bool) {
+		if !ok {
+			complete(result{aborted: true})
+			return
+		}
+		o.lock.stats.Elided++
+		cpu.elide.Success(o.lock.ID)
+		cpu.rmw.EndSection()
+		cpu.eng.ResetAttempt()
+		complete(result{ok: true})
+	})
+}
+
+// account attributes an operation's cycles: one busy (issue) cycle, the
+// rest stall, classified by whether the operation targets a lock variable.
+// Compute is pure busy time. Figure 11's accounting: "the instruction that
+// stalls commit is charged the stall".
+func (cpu *CPU) account(o op, elapsed uint64) {
+	if o.kind == opCompute {
+		cpu.stats.Busy += elapsed
+		return
+	}
+	cpu.stats.Busy++
+	stall := elapsed
+	if stall > 0 {
+		stall--
+	}
+	if stall == 0 {
+		return
+	}
+	if cpu.isLockOp(o) {
+		cpu.stats.LockStall += stall
+	} else {
+		cpu.stats.DataStall += stall
+	}
+}
+
+func (cpu *CPU) isLockOp(o op) bool {
+	switch o.kind {
+	case opTxBegin:
+		return true
+	case opTxEnd:
+		// Commit stall is charged to the lock when the outstanding fetch
+		// stalling it was the elided lock word itself.
+		return cpu.commitLockBound
+	case opCompute, opCSEnter, opCSExit, opUnelidable:
+		return false
+	}
+	return cpu.m.Sys.IsLockLine(o.addr)
+}
+
+// DebugOp reports the CPU's current operation state for deadlock dumps.
+func (cpu *CPU) DebugOp() string {
+	return fmt.Sprintf("opActive=%v lastOp=%d stalledUntil=%d pendingFallback=%v waitFree=%v",
+		cpu.opActive, cpu.lastOp, cpu.stalledUntil, cpu.pendingFallback, cpu.waitFree)
+}

@@ -1,0 +1,185 @@
+package proc
+
+import (
+	"testing"
+
+	"tlrsim/internal/trace"
+)
+
+// Litmus-style tests: short, adversarial access patterns with exhaustively
+// checkable outcomes, run under every scheme. The functional checker is
+// active throughout, so every plain access is also validated against the
+// architectural shadow.
+
+// TestLitmusMessagePassing: the classic MP pattern through a critical
+// section — if the consumer sees the flag, it must see the payload.
+func TestLitmusMessagePassing(t *testing.T) {
+	for _, scheme := range allSchemes {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			for seed := int64(1); seed <= 5; seed++ {
+				c := cfg(2, scheme)
+				c.Seed = seed
+				m := NewMachine(c)
+				l := m.NewLock()
+				data := m.Alloc.PaddedWord()
+				flag := m.Alloc.PaddedWord()
+				var seenFlag, seenData uint64
+				err := m.Run([]func(*TC){
+					func(tc *TC) { // producer
+						tc.Compute(uint64(seed * 37))
+						tc.Critical(l, func() {
+							tc.Store(data, 42)
+							tc.Store(flag, 1)
+						})
+					},
+					func(tc *TC) { // consumer
+						for {
+							var f, d uint64
+							tc.Critical(l, func() {
+								f = tc.Load(flag)
+								d = tc.Load(data)
+							})
+							if f == 1 {
+								seenFlag, seenData = f, d
+								return
+							}
+							tc.Compute(25)
+						}
+					},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if seenFlag == 1 && seenData != 42 {
+					t.Fatalf("seed %d: consumer saw flag without payload (data=%d)", seed, seenData)
+				}
+				if err := m.CheckerErr(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestLitmusAtomicSwapExchange: two threads swap values through one word;
+// the multiset of observed values must be {initial, A's value} etc. — no
+// value is ever duplicated or lost by the atomic.
+func TestLitmusAtomicSwapExchange(t *testing.T) {
+	for _, scheme := range []Scheme{Base, TLR} {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			m := NewMachine(cfg(2, scheme))
+			slot := m.Alloc.PaddedWord()
+			m.Mem().WriteWord(slot, 100)
+			var got [2]uint64
+			progs := []func(*TC){
+				func(tc *TC) { got[0] = tc.Swap(slot, 201) },
+				func(tc *TC) { got[1] = tc.Swap(slot, 202) },
+			}
+			if err := m.Run(progs); err != nil {
+				t.Fatal(err)
+			}
+			final := m.Sys.ArchWord(slot)
+			seen := map[uint64]bool{got[0]: true, got[1]: true, final: true}
+			if len(seen) != 3 || !seen[100] {
+				t.Fatalf("swap chain broken: got %v, final %d", got, final)
+			}
+		})
+	}
+}
+
+// TestLitmusCoherencePerLocation: concurrent un-locked increments through
+// FetchAdd never lose updates (per-location atomicity).
+func TestLitmusCoherencePerLocation(t *testing.T) {
+	const procs, iters = 8, 40
+	m := NewMachine(cfg(procs, Base))
+	word := m.Alloc.PaddedWord()
+	progs := make([]func(*TC), procs)
+	for i := range progs {
+		progs[i] = func(tc *TC) {
+			for n := 0; n < iters; n++ {
+				tc.FetchAdd(word, 1)
+				tc.Compute(uint64(tc.Rand().Intn(30)))
+			}
+		}
+	}
+	if err := m.Run(progs); err != nil {
+		t.Fatal(err)
+	}
+	if v := m.Sys.ArchWord(word); v != procs*iters {
+		t.Fatalf("FetchAdd lost updates: %d, want %d", v, procs*iters)
+	}
+}
+
+// TestLitmusCASLoop: lock-free CAS increment loops (no Critical at all)
+// stay exact — the substrate itself supports classic lock-free algorithms.
+func TestLitmusCASLoop(t *testing.T) {
+	const procs, iters = 4, 30
+	m := NewMachine(cfg(procs, Base))
+	word := m.Alloc.PaddedWord()
+	progs := make([]func(*TC), procs)
+	for i := range progs {
+		progs[i] = func(tc *TC) {
+			for n := 0; n < iters; n++ {
+				for {
+					old := tc.Load(word)
+					if tc.CAS(word, old, old+1) == old {
+						break
+					}
+				}
+			}
+		}
+	}
+	if err := m.Run(progs); err != nil {
+		t.Fatal(err)
+	}
+	if v := m.Sys.ArchWord(word); v != procs*iters {
+		t.Fatalf("CAS loop lost updates: %d, want %d", v, procs*iters)
+	}
+}
+
+// TestTraceIntegration: the protocol tracer captures transaction lifecycle
+// events during a contended TLR run.
+func TestTraceIntegration(t *testing.T) {
+	c := cfg(4, TLR)
+	c.TraceCapacity = 1024
+	m := NewMachine(c)
+	l := m.NewLock()
+	ctr := m.Alloc.PaddedWord()
+	progs := make([]func(*TC), 4)
+	for i := range progs {
+		progs[i] = func(tc *TC) {
+			for n := 0; n < 20; n++ {
+				tc.Critical(l, func() { tc.Store(ctr, tc.Load(ctr)+1) })
+			}
+		}
+	}
+	if err := m.Run(progs); err != nil {
+		t.Fatal(err)
+	}
+	tr := m.Trace()
+	if tr == nil {
+		t.Fatal("tracer not attached")
+	}
+	if tr.Count(trace.TxnBegin) < 80 {
+		t.Fatalf("begins = %d, want >= 80", tr.Count(trace.TxnBegin))
+	}
+	if tr.Count(trace.TxnCommit) != 80 {
+		t.Fatalf("commits = %d, want 80", tr.Count(trace.TxnCommit))
+	}
+	if tr.Count(trace.Deferral) == 0 {
+		t.Fatal("a contended run should record deferrals")
+	}
+	dump := tr.Dump(-1)
+	if len(dump) == 0 {
+		t.Fatal("empty dump")
+	}
+	// Events are chronological.
+	evs := tr.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatalf("trace out of order at %d", i)
+		}
+	}
+}

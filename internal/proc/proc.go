@@ -1,0 +1,325 @@
+// Package proc implements the processor model: timing CPUs that execute
+// workload threads written as ordinary Go functions against the simulated
+// memory system, in lock-step with the discrete-event kernel.
+//
+// A thread runs in its own goroutine and synchronises with its CPU through
+// an unbuffered channel pair: it sends one operation, the CPU simulates its
+// timing against the cache/bus model, and replies with the result at the
+// operation's completion cycle. Exactly one goroutine is runnable at any
+// host instant, so simulations are deterministic.
+//
+// Critical sections are expressed as tc.Critical(lock, body). Under BASE and
+// MCS the runtime acquires the lock with real simulated memory operations;
+// under SLE and TLR the CPU elides the lock and executes body as an
+// optimistic lock-free transaction, re-running it from the beginning on
+// misspeculation — the software-visible equivalent of the hardware's
+// register-checkpoint restart.
+package proc
+
+import (
+	"fmt"
+
+	"tlrsim/internal/checker"
+	"tlrsim/internal/coherence"
+	"tlrsim/internal/core"
+	"tlrsim/internal/locks"
+	"tlrsim/internal/memsys"
+	"tlrsim/internal/sim"
+	"tlrsim/internal/trace"
+)
+
+// Scheme selects the synchronisation configuration under evaluation
+// (§5: BASE, BASE+SLE, BASE+SLE+TLR, TLR-strict-ts, and MCS).
+type Scheme int
+
+const (
+	// Base executes test&test&set acquisitions literally.
+	Base Scheme = iota
+	// SLE elides locks but falls back to acquisition on data conflicts.
+	SLE
+	// TLR elides locks and resolves conflicts with timestamps and deferral.
+	TLR
+	// TLRStrictTS is TLR without the §3.2 single-block relaxation.
+	TLRStrictTS
+	// MCS uses software queue locks (no elision).
+	MCS
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case Base:
+		return "BASE"
+	case SLE:
+		return "BASE+SLE"
+	case TLR:
+		return "BASE+SLE+TLR"
+	case TLRStrictTS:
+		return "BASE+SLE+TLR-strict-ts"
+	case MCS:
+		return "MCS"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Elides reports whether the scheme attempts lock elision.
+func (s Scheme) Elides() bool { return s == SLE || s == TLR || s == TLRStrictTS }
+
+// Config assembles a machine.
+type Config struct {
+	Procs     int
+	Scheme    Scheme
+	Seed      int64
+	Coherence coherence.Config
+
+	// RestartPenalty models the pipeline flush + recovery cost of a
+	// misspeculation before the transaction re-executes.
+	RestartPenalty uint64
+	// SpinRecheck is the local re-check latency of a spin loop after an
+	// invalidation wakes it.
+	SpinRecheck uint64
+	// UseRMWPredictor enables the PC-indexed read-modify-write collapsing
+	// predictor for all schemes (§3.1.2; Table 2 uses it everywhere).
+	UseRMWPredictor bool
+	RMWEntries      int
+	ElisionEntries  int
+
+	// Policy is the core engine policy; zero value means derive from Scheme.
+	Policy core.Policy
+
+	// MaxEvents bounds a run (runaway/livelock guard).
+	MaxEvents uint64
+
+	// EnableChecker runs the functional checker behind the timing simulator
+	// (§5.3): every transaction commit and plain access is validated against
+	// an architectural shadow memory.
+	EnableChecker bool
+
+	// TraceCapacity, when positive, attaches a protocol-event tracer
+	// retaining the last TraceCapacity events (Machine.Trace).
+	TraceCapacity int
+}
+
+func (c Config) policy() core.Policy {
+	p := c.Policy
+	if p.MaxDeferred == 0 {
+		p = core.DefaultPolicy()
+		p.StrictTimestamps = c.Policy.StrictTimestamps
+		p.AbortOnUntimestamped = c.Policy.AbortOnUntimestamped
+	}
+	switch c.Scheme {
+	case SLE:
+		p.EnableTLR = false
+	case TLR:
+		p.EnableTLR = true
+	case TLRStrictTS:
+		p.EnableTLR = true
+		p.StrictTimestamps = true
+	}
+	return p
+}
+
+// Machine is one configured multiprocessor ready to run workloads.
+type Machine struct {
+	K     *sim.Kernel
+	Sys   *coherence.System
+	CPUs  []*CPU
+	Alloc *memsys.Allocator
+
+	cfg        Config
+	nextLockID int
+}
+
+// NewMachine builds the machine: kernel, bus, caches, engines, CPUs.
+func NewMachine(cfg Config) *Machine {
+	if cfg.Procs <= 0 {
+		panic("proc: need at least one processor")
+	}
+	if cfg.RestartPenalty == 0 {
+		cfg.RestartPenalty = 10
+	}
+	if cfg.SpinRecheck == 0 {
+		cfg.SpinRecheck = 2
+	}
+	if cfg.MaxEvents == 0 {
+		cfg.MaxEvents = 500_000_000
+	}
+	k := sim.New(cfg.Seed)
+	engines := make([]*core.Engine, cfg.Procs)
+	for i := range engines {
+		engines[i] = core.NewEngine(i, cfg.policy())
+	}
+	sys := coherence.NewSystem(k, cfg.Procs, cfg.Coherence, engines)
+	m := &Machine{
+		K:     k,
+		Sys:   sys,
+		Alloc: memsys.NewAllocator(0x10000),
+		cfg:   cfg,
+	}
+	if cfg.EnableChecker {
+		sys.AttachChecker(checker.New())
+	}
+	if cfg.TraceCapacity > 0 {
+		sys.Tracer = trace.New(cfg.TraceCapacity)
+	}
+	m.CPUs = make([]*CPU, cfg.Procs)
+	for i := range m.CPUs {
+		m.CPUs[i] = newCPU(m, i, sys.Ctrls[i], engines[i])
+	}
+	return m
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Mem returns the backing memory image (for workload setup and validation).
+func (m *Machine) Mem() *memsys.Memory { return m.Sys.Mem }
+
+// NewLock allocates a lock: a padded test&test&set word, plus MCS queue
+// state when the machine runs the MCS scheme. All lock words are registered
+// for lock-class stall attribution.
+func (m *Machine) NewLock() *Lock {
+	m.nextLockID++
+	l := &Lock{ID: m.nextLockID, Addr: m.Alloc.PaddedWord()}
+	m.Sys.RegisterLock(l.Addr)
+	if m.cfg.Scheme == MCS {
+		l.attachMCS(m)
+	}
+	return l
+}
+
+// Run executes one program per CPU to completion. It returns an error on
+// deadlock (all threads blocked with no events pending) or when the event
+// budget is exhausted (livelock guard).
+func (m *Machine) Run(progs []func(*TC)) error {
+	if len(progs) != len(m.CPUs) {
+		return fmt.Errorf("proc: %d programs for %d CPUs", len(progs), len(m.CPUs))
+	}
+	for i, p := range progs {
+		m.CPUs[i].start(p)
+	}
+	for {
+		if m.allDone() {
+			break
+		}
+		if m.K.Fired() >= m.cfg.MaxEvents {
+			return fmt.Errorf("proc: event budget %d exhausted at cycle %d (livelock?)", m.cfg.MaxEvents, m.K.Now())
+		}
+		if !m.K.Step() {
+			return fmt.Errorf("proc: deadlock at cycle %d: %s", m.K.Now(), m.describeStall())
+		}
+	}
+	// Drain the memory system (in-flight write-backs etc.).
+	m.K.Run()
+	return nil
+}
+
+func (m *Machine) allDone() bool {
+	for _, c := range m.CPUs {
+		if !c.done {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Machine) describeStall() string {
+	s := ""
+	for _, c := range m.CPUs {
+		if !c.done {
+			s += fmt.Sprintf(" P%d(mode=%v)", c.id, c.eng.Mode())
+		}
+	}
+	return "blocked:" + s
+}
+
+// InjectDeschedule models the operating system preempting the thread on cpu
+// at the given cycle for duration cycles (§4 stability). Under elision the
+// speculative critical section aborts immediately — its updates are
+// discarded and the lock stays free, so other threads keep making progress
+// (non-blocking behaviour); a BASE thread that holds a real lock keeps it
+// across the whole quantum and blocks every waiter.
+func (m *Machine) InjectDeschedule(cpu int, at, duration uint64) {
+	if cpu < 0 || cpu >= len(m.CPUs) {
+		panic(fmt.Sprintf("proc: InjectDeschedule of unknown CPU %d", cpu))
+	}
+	c := m.CPUs[cpu]
+	m.K.At(sim.Time(at), func() {
+		c.stalledUntil = sim.Time(at + duration)
+		c.ctrl.Deschedule()
+	})
+}
+
+// GuaranteedFootprintLines returns the speculative footprint the machine
+// architecturally guarantees per cache set (§4: cache ways plus victim
+// cache entries — "if the system has a 16 entry victim cache and a 4-way
+// data cache, the programmer can be sure any transaction accessing 20 cache
+// lines or less is ensured a lock-free execution").
+func (m *Machine) GuaranteedFootprintLines() int {
+	return m.cfg.Coherence.Cache.Ways + m.cfg.Coherence.Cache.VictimEntries
+}
+
+// Trace returns the attached protocol tracer (nil unless TraceCapacity was
+// set).
+func (m *Machine) Trace() *trace.Tracer { return m.Sys.Tracer }
+
+// CheckerErr reports functional-checker violations (nil when the checker is
+// disabled or everything validated).
+func (m *Machine) CheckerErr() error {
+	if m.Sys.Check == nil {
+		return nil
+	}
+	return m.Sys.Check.Err()
+}
+
+// Cycles returns the parallel execution time: the cycle at which the last
+// thread finished.
+func (m *Machine) Cycles() sim.Time {
+	var max sim.Time
+	for _, c := range m.CPUs {
+		if c.finish > max {
+			max = c.finish
+		}
+	}
+	return max
+}
+
+// Lock is one critical-section lock: a test&test&set word (used directly by
+// BASE, elided by SLE/TLR) plus optional MCS queue state.
+type Lock struct {
+	// ID identifies the static lock site for the elision and silent
+	// store-pair predictors (the role the acquire PC plays in hardware).
+	ID int
+	// Addr is the lock word, alone in its cache line.
+	Addr memsys.Addr
+
+	mcs   *locks.MCS
+	stats LockStats
+}
+
+// LockStats counts how critical sections protected by one lock actually
+// executed. §4: "The spin-wait loop of the lock acquire will only be
+// reached if TLR has failed, thus giving the programmer a method of
+// detecting when wait-freedom has not been achieved" — Acquired == 0 is
+// that detector.
+type LockStats struct {
+	// Elided counts critical sections committed lock-free.
+	Elided uint64
+	// Acquired counts real lock acquisitions (BASE/MCS always; SLE/TLR
+	// only on fallback).
+	Acquired uint64
+}
+
+// Stats returns the lock's execution counters.
+func (l *Lock) Stats() LockStats { return l.stats }
+
+// WaitFree reports whether every critical section under this lock ran
+// lock-free (§4's wait-freedom detector).
+func (l *Lock) WaitFree() bool { return l.stats.Acquired == 0 && l.stats.Elided > 0 }
+
+func (l *Lock) attachMCS(m *Machine) {
+	l.mcs = locks.NewMCS(m.Alloc, len(m.CPUs))
+	for _, w := range l.mcs.Words() {
+		m.Sys.RegisterLock(w)
+	}
+}

@@ -1,0 +1,136 @@
+package proc
+
+import (
+	"testing"
+
+	"tlrsim/internal/core"
+	"tlrsim/internal/sim"
+)
+
+// The §4 stability properties: restartable critical sections (failure
+// atomicity on deschedule) and non-blocking behaviour (a descheduled
+// lock-free thread cannot stall the others, unlike a descheduled lock
+// holder).
+
+// stabilityWorkload: every CPU increments a shared counter inside a
+// critical section whose body computes long enough that a mid-CS
+// deschedule is guaranteed to land inside it.
+func stabilityRun(t *testing.T, scheme Scheme, stallAt, stallLen uint64) (*Machine, []sim.Time) {
+	t.Helper()
+	const procs, iters, csWork = 4, 8, 2000
+	m := NewMachine(cfg(procs, scheme))
+	l := m.NewLock()
+	ctr := m.Alloc.PaddedWord()
+	progs := make([]func(*TC), procs)
+	for i := range progs {
+		i := i
+		progs[i] = func(tc *TC) {
+			if i != 0 {
+				// Stagger the other threads so CPU 0 deterministically owns
+				// the first critical section when the deschedule lands.
+				tc.Compute(5000)
+			}
+			for n := 0; n < iters; n++ {
+				tc.Critical(l, func() {
+					v := tc.Load(ctr)
+					tc.Compute(csWork)
+					tc.Store(ctr, v+1)
+				})
+			}
+		}
+	}
+	if stallLen > 0 {
+		m.InjectDeschedule(0, stallAt, stallLen)
+	}
+	if err := m.Run(progs); err != nil {
+		t.Fatalf("%v: %v", scheme, err)
+	}
+	if v := m.Sys.ArchWord(ctr); v != procs*iters {
+		t.Fatalf("%v: counter = %d, want %d (deschedule broke atomicity)", scheme, v, procs*iters)
+	}
+	fins := make([]sim.Time, procs)
+	for i, c := range m.CPUs {
+		fins[i] = c.finish
+	}
+	return m, fins
+}
+
+// TestDescheduleIsFailureAtomic: a preempted speculative critical section
+// leaves no partial updates; the counter is still exact.
+func TestDescheduleIsFailureAtomic(t *testing.T) {
+	m, _ := stabilityRun(t, TLR, 500, 40000)
+	var explicit uint64
+	for _, c := range m.CPUs {
+		explicit += c.Engine().Stats().AbortsFor(core.ReasonExplicit)
+	}
+	if explicit == 0 {
+		t.Fatal("the deschedule should have squashed a speculative critical section")
+	}
+	if err := m.CheckerErr(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNonBlockingUnderDeschedule: with TLR, descheduling one thread
+// mid-critical-section leaves the lock free — the other three threads
+// finish during the victim's quantum. Under BASE the preempted thread holds
+// the lock across the whole quantum and everyone waits for it.
+func TestNonBlockingUnderDeschedule(t *testing.T) {
+	const stallAt, stallLen = 500, 60000
+	_, tlrFins := stabilityRun(t, TLR, stallAt, stallLen)
+	_, baseFins := stabilityRun(t, Base, stallAt, stallLen)
+
+	tlrOthers := maxFinish(tlrFins[1:])
+	baseOthers := maxFinish(baseFins[1:])
+	if uint64(tlrOthers) >= stallAt+stallLen {
+		t.Errorf("TLR: other threads finished at %d, inside the victim's quantum (%d)",
+			tlrOthers, stallAt+stallLen)
+	}
+	if uint64(baseOthers) < stallAt+stallLen {
+		t.Errorf("BASE: other threads finished at %d, but the lock holder slept until %d — "+
+			"they should have been blocked", baseOthers, stallAt+stallLen)
+	}
+}
+
+// TestRepeatedDeschedulesStillComplete: hammering one CPU with preemptions
+// never deadlocks or corrupts state (restartable critical sections, §4).
+func TestRepeatedDeschedulesStillComplete(t *testing.T) {
+	const procs, iters = 4, 6
+	m := NewMachine(cfg(procs, TLR))
+	l := m.NewLock()
+	ctr := m.Alloc.PaddedWord()
+	progs := make([]func(*TC), procs)
+	for i := range progs {
+		progs[i] = func(tc *TC) {
+			for n := 0; n < iters; n++ {
+				tc.Critical(l, func() {
+					v := tc.Load(ctr)
+					tc.Compute(500)
+					tc.Store(ctr, v+1)
+				})
+			}
+		}
+	}
+	for k := 0; k < 10; k++ {
+		m.InjectDeschedule(k%procs, uint64(1000+k*1500), 800)
+	}
+	if err := m.Run(progs); err != nil {
+		t.Fatal(err)
+	}
+	if v := m.Sys.ArchWord(ctr); v != procs*iters {
+		t.Fatalf("counter = %d, want %d", v, procs*iters)
+	}
+	if err := m.CheckerErr(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func maxFinish(f []sim.Time) sim.Time {
+	var m sim.Time
+	for _, v := range f {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,130 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// on which the whole machine model runs.
+//
+// Every hardware component (bus, cache controller, CPU, memory controller)
+// advances by scheduling closures at future cycle counts. Events at the same
+// cycle fire in schedule order, so a run is a pure function of the
+// configuration and the seed. The kernel is deliberately single-threaded:
+// determinism matters more than host parallelism for an architectural
+// simulator, and it is what makes the multithreaded-workload results
+// reproducible (the paper injects seeded random latency perturbations for the
+// same reason, §5.3).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is the simulated clock in processor cycles (1 GHz in the paper's
+// Table 2, so one unit is one nanosecond of simulated time).
+type Time uint64
+
+// event is a closure scheduled to fire at a cycle. seq breaks ties so that
+// same-cycle events fire in the order they were scheduled.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event   { return h[0] }
+
+// Kernel is the event loop. The zero value is not usable; construct with New.
+type Kernel struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+	fired  uint64
+}
+
+// New returns a kernel whose pseudo-random stream is derived from seed.
+func New(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated cycle.
+func (k *Kernel) Now() Time { return k.now }
+
+// Fired returns the number of events executed so far (useful as a progress
+// and runaway-simulation metric).
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// Rand returns the kernel's seeded random stream. All model randomness
+// (arbitration jitter, post-release delays) must come from here so runs are
+// reproducible.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// At schedules fn to run at absolute cycle t. Scheduling in the past panics:
+// it is always a model bug.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d, now is %d", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.events, event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn d cycles from now.
+func (k *Kernel) After(d uint64, fn func()) { k.At(k.now+Time(d), fn) }
+
+// Pending reports how many events are queued.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// Step executes the single next event, advancing the clock to its cycle.
+// It returns false when no events remain.
+func (k *Kernel) Step() bool {
+	if len(k.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.events).(event)
+	k.now = e.at
+	k.fired++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue drains.
+func (k *Kernel) Run() {
+	for k.Step() {
+	}
+}
+
+// RunUntil executes events until done reports true (checked after each
+// event) or the queue drains. It returns true if done was satisfied.
+func (k *Kernel) RunUntil(done func() bool) bool {
+	for {
+		if done() {
+			return true
+		}
+		if !k.Step() {
+			return done()
+		}
+	}
+}
+
+// RunLimit executes at most limit events; it returns false if the limit was
+// hit with events still pending (the caller treats that as a hung model,
+// e.g. an undetected deadlock).
+func (k *Kernel) RunLimit(limit uint64) bool {
+	for i := uint64(0); i < limit; i++ {
+		if !k.Step() {
+			return true
+		}
+	}
+	return len(k.events) == 0
+}

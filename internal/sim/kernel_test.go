@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyKernel(t *testing.T) {
+	k := New(1)
+	if k.Step() {
+		t.Fatal("Step on empty kernel should return false")
+	}
+	if k.Now() != 0 {
+		t.Fatalf("Now = %d, want 0", k.Now())
+	}
+}
+
+func TestEventOrderByTime(t *testing.T) {
+	k := New(1)
+	var got []int
+	k.At(30, func() { got = append(got, 3) })
+	k.At(10, func() { got = append(got, 1) })
+	k.At(20, func() { got = append(got, 2) })
+	k.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if k.Now() != 30 {
+		t.Fatalf("Now = %d, want 30", k.Now())
+	}
+}
+
+func TestSameCycleFIFO(t *testing.T) {
+	k := New(1)
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		k.At(5, func() { got = append(got, i) })
+	}
+	k.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-cycle events not FIFO at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestAfterRelative(t *testing.T) {
+	k := New(1)
+	var at Time
+	k.At(100, func() {
+		k.After(7, func() { at = k.Now() })
+	})
+	k.Run()
+	if at != 107 {
+		t.Fatalf("After fired at %d, want 107", at)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	k := New(1)
+	k.At(50, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past should panic")
+			}
+		}()
+		k.At(10, func() {})
+	})
+	k.Run()
+}
+
+func TestNestedScheduling(t *testing.T) {
+	k := New(1)
+	count := 0
+	var step func()
+	step = func() {
+		count++
+		if count < 1000 {
+			k.After(1, step)
+		}
+	}
+	k.After(1, step)
+	k.Run()
+	if count != 1000 {
+		t.Fatalf("count = %d, want 1000", count)
+	}
+	if k.Now() != 1000 {
+		t.Fatalf("Now = %d, want 1000", k.Now())
+	}
+	if k.Fired() != 1000 {
+		t.Fatalf("Fired = %d, want 1000", k.Fired())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := New(1)
+	n := 0
+	for i := 1; i <= 10; i++ {
+		k.At(Time(i*10), func() { n++ })
+	}
+	ok := k.RunUntil(func() bool { return n >= 5 })
+	if !ok || n != 5 {
+		t.Fatalf("RunUntil stopped at n=%d ok=%v, want n=5 ok=true", n, ok)
+	}
+	if k.Pending() != 5 {
+		t.Fatalf("Pending = %d, want 5", k.Pending())
+	}
+	// An unsatisfiable predicate drains the queue and reports false.
+	if k.RunUntil(func() bool { return false }) {
+		t.Fatal("RunUntil with false predicate should report false after drain")
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	k := New(1)
+	var step func()
+	step = func() { k.After(1, step) } // infinite chain
+	k.After(1, step)
+	if k.RunLimit(100) {
+		t.Fatal("RunLimit should report false on an infinite event chain")
+	}
+	k2 := New(1)
+	k2.At(1, func() {})
+	if !k2.RunLimit(100) {
+		t.Fatal("RunLimit should report true when the queue drains")
+	}
+}
+
+func TestDeterministicRandomStream(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Rand().Uint64() != b.Rand().Uint64() {
+			t.Fatal("same seed must give identical streams")
+		}
+	}
+	c := New(43)
+	same := true
+	for i := 0; i < 10; i++ {
+		if New(42).Rand().Uint64() != c.Rand().Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should give different streams")
+	}
+}
+
+// Property: for any set of (time, id) pairs, execution order is sorted by
+// time with schedule order breaking ties.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(times []uint16) bool {
+		if len(times) == 0 {
+			return true
+		}
+		k := New(7)
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var got []rec
+		for i, tm := range times {
+			i, at := i, Time(tm)
+			k.At(at, func() { got = append(got, rec{at, i}) })
+		}
+		k.Run()
+		if len(got) != len(times) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].at < got[i-1].at {
+				return false
+			}
+			if got[i].at == got[i-1].at && got[i].seq < got[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

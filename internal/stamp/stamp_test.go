@@ -1,0 +1,188 @@
+package stamp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBeforeOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Stamp
+		want bool
+	}{
+		{New(1, 0), New(2, 0), true},
+		{New(2, 0), New(1, 0), false},
+		{New(5, 1), New(5, 2), true}, // tie broken by CPU id
+		{New(5, 2), New(5, 1), false},
+		{New(5, 1), New(5, 1), false}, // equal is not before
+		{New(0, 0), None(), true},     // any valid beats un-timestamped
+		{None(), New(9, 9), false},
+		{None(), None(), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Before(c.b); got != c.want {
+			t.Errorf("%v.Before(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	if New(3, 2).String() != "ts<3.P2>" {
+		t.Fatalf("String = %q", New(3, 2).String())
+	}
+	if None().String() != "ts<none>" {
+		t.Fatalf("None String = %q", None().String())
+	}
+}
+
+func TestClockMonotonicOnSuccess(t *testing.T) {
+	c := NewClock(3)
+	prev := c.Value()
+	for i := 0; i < 100; i++ {
+		c.Success()
+		if c.Value() <= prev {
+			t.Fatalf("clock not strictly monotonic: %d then %d", prev, c.Value())
+		}
+		prev = c.Value()
+	}
+}
+
+func TestClockJumpsPastObservedConflicts(t *testing.T) {
+	c := NewClock(0)
+	c.Observe(New(50, 1))
+	c.Observe(New(30, 2))
+	c.Observe(None()) // ignored
+	c.Success()
+	if c.Value() != 51 {
+		t.Fatalf("clock = %d, want 51 (max observed 50 + 1)", c.Value())
+	}
+	// maxSeen resets after success.
+	c.Success()
+	if c.Value() != 52 {
+		t.Fatalf("clock = %d, want 52", c.Value())
+	}
+}
+
+func TestCurrentStableAcrossObserve(t *testing.T) {
+	// The transaction's stamp is fixed at begin; observing conflicts must
+	// not change it (restarts re-use the same stamp, §2.1.2).
+	c := NewClock(4)
+	s := c.Current()
+	c.Observe(New(99, 1))
+	if !c.Current().Equal(s) {
+		t.Fatal("Current changed without Success")
+	}
+}
+
+// Property: Before is a strict total order over valid stamps.
+func TestPropertyStrictTotalOrder(t *testing.T) {
+	f := func(c1, c2 uint32, p1, p2 uint8) bool {
+		a, b := New(uint64(c1), int(p1)), New(uint64(c2), int(p2))
+		ab, ba := a.Before(b), b.Before(a)
+		if a.Equal(b) {
+			return !ab && !ba
+		}
+		return ab != ba // exactly one direction
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Before is transitive.
+func TestPropertyTransitive(t *testing.T) {
+	f := func(c [3]uint16, p [3]uint8) bool {
+		s := make([]Stamp, 3)
+		for i := range s {
+			s[i] = New(uint64(c[i]), int(p[i]))
+		}
+		if s[0].Before(s[1]) && s[1].Before(s[2]) {
+			return s[0].Before(s[2])
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after any sequence of Observe calls followed by Success, the
+// clock exceeds both its previous value and every observed clock value —
+// the §4 invariant (b): strictly monotonic update on success.
+func TestPropertyClockDominatesObservations(t *testing.T) {
+	f := func(obs []uint16) bool {
+		c := NewClock(1)
+		c.Success() // start from a non-zero value
+		prev := c.Value()
+		var max uint64
+		for _, o := range obs {
+			c.Observe(New(uint64(o), 2))
+			if uint64(o) > max {
+				max = uint64(o)
+			}
+		}
+		c.Success()
+		return c.Value() > prev && c.Value() > max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWrappedBeforeBasics(t *testing.T) {
+	const bits = 6 // window 64
+	cases := []struct {
+		a, b uint64
+		want bool
+	}{
+		{1, 2, true},
+		{2, 1, false},
+		{62, 1, true},  // wrap: 62 -> 1 is a short forward distance (3)
+		{1, 62, false}, // backward
+		{0, 31, true},  // just under half window
+		{0, 33, false}, // past half window: 33 is "behind"
+	}
+	for _, c := range cases {
+		a, b := New(c.a, 0), New(c.b, 1)
+		if got := WrappedBefore(a, b, bits); got != c.want {
+			t.Errorf("WrappedBefore(%d, %d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	// Invalid ordering mirrors Before.
+	if WrappedBefore(None(), New(1, 0), bits) || !WrappedBefore(New(1, 0), None(), bits) {
+		t.Error("invalid-stamp ordering wrong")
+	}
+	// Equal clocks: CPU tie-break.
+	if !WrappedBefore(New(5, 0), New(5, 1), bits) || WrappedBefore(New(5, 1), New(5, 0), bits) {
+		t.Error("tie-break wrong")
+	}
+}
+
+// Property: within any half-window span, WrappedBefore agrees with the
+// unwrapped comparison of the underlying (unwrapped) clocks.
+func TestPropertyWrappedMatchesUnwrappedWithinWindow(t *testing.T) {
+	const bits = 8
+	f := func(base uint32, d1, d2 uint8, p1, p2 uint8) bool {
+		// Two clocks within a half window (<128 apart) of each other.
+		c1 := uint64(base) + uint64(d1%127)
+		c2 := uint64(base) + uint64(d2%127)
+		a := New(c1&0xff, int(p1))
+		b := New(c2&0xff, int(p2))
+		ref := New(c1, int(p1)).Before(New(c2, int(p2)))
+		return WrappedBefore(a, b, bits) == ref
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClockWrapsAtBits(t *testing.T) {
+	c := NewClock(0)
+	c.SetBits(4) // wraps at 16
+	for i := 0; i < 20; i++ {
+		c.Success()
+	}
+	if c.Value() != 20%16 {
+		t.Fatalf("clock = %d, want %d", c.Value(), 20%16)
+	}
+}

@@ -1,0 +1,148 @@
+// Package stats aggregates per-run measurements and renders the tables and
+// CSV series the experiment harness emits for each figure of the paper.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Run is the aggregate outcome of one simulation.
+type Run struct {
+	Scheme string
+	Procs  int
+	// Cycles is the parallel execution time: last thread's finish cycle.
+	Cycles uint64
+
+	// Engine-level totals across CPUs.
+	Starts, Commits, Aborts, Fallbacks uint64
+	Deferrals, RelaxedWins             uint64
+	DeferOverflows                     uint64
+	AbortsByReason                     map[string]uint64
+
+	// Stall attribution totals (Figure 11 breakdown).
+	Busy, LockStall, DataStall uint64
+
+	// Memory-system totals.
+	Loads, Stores, Misses, Upgrades, Writebacks uint64
+	BusTxns, DataMsgs, Markers, Probes          uint64
+}
+
+// LockFraction returns the share of accounted cycles attributed to lock
+// variables.
+func (r *Run) LockFraction() float64 {
+	total := r.Busy + r.LockStall + r.DataStall
+	if total == 0 {
+		return 0
+	}
+	return float64(r.LockStall) / float64(total)
+}
+
+// Speedup returns base.Cycles / r.Cycles (>1 means r is faster).
+func (r *Run) Speedup(base *Run) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(r.Cycles)
+}
+
+// Series is one curve of a figure: cycles as a function of processor count
+// for a fixed scheme.
+type Series struct {
+	Label  string
+	Points map[int]uint64 // procs -> cycles
+}
+
+// Table renders aligned columns.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// CSV renders comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, ","))
+	b.WriteString("\n")
+	for _, r := range t.Rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// FigureTable renders a processor-count sweep (one column per series) — the
+// shape of Figures 8-10.
+func FigureTable(title string, procCounts []int, series []Series) string {
+	t := &Table{Header: append([]string{"procs"}, labels(series)...)}
+	for _, p := range procCounts {
+		row := []string{fmt.Sprintf("%d", p)}
+		for _, s := range series {
+			if v, ok := s.Points[p]; ok {
+				row = append(row, fmt.Sprintf("%d", v))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.Add(row...)
+	}
+	return title + "\n" + t.String()
+}
+
+func labels(series []Series) []string {
+	out := make([]string, len(series))
+	for i, s := range series {
+		out[i] = s.Label
+	}
+	return out
+}
+
+// SortedKeys returns the map's keys in ascending order (deterministic
+// reporting).
+func SortedKeys[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"tlrsim/internal/bus"
+	"tlrsim/internal/cache"
+	"tlrsim/internal/coherence"
+	"tlrsim/internal/proc"
+)
+
+func TestLockFraction(t *testing.T) {
+	r := &Run{Busy: 50, LockStall: 30, DataStall: 20}
+	if f := r.LockFraction(); f != 0.3 {
+		t.Fatalf("LockFraction = %v, want 0.3", f)
+	}
+	empty := &Run{}
+	if f := empty.LockFraction(); f != 0 {
+		t.Fatalf("empty LockFraction = %v, want 0", f)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	base := &Run{Cycles: 200}
+	fast := &Run{Cycles: 100}
+	if s := fast.Speedup(base); s != 2 {
+		t.Fatalf("Speedup = %v, want 2", s)
+	}
+	zero := &Run{}
+	if s := zero.Speedup(base); s != 0 {
+		t.Fatalf("zero-cycle Speedup = %v, want 0", s)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := &Table{Header: []string{"name", "value"}}
+	tb.Add("a", "1")
+	tb.Add("longer-name", "123456")
+	s := tb.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want header+sep+2 rows, got %d lines:\n%s", len(lines), s)
+	}
+	// All data lines start-aligned in the same column for field 2.
+	idx1 := strings.Index(lines[2], "1")
+	idx2 := strings.Index(lines[3], "123456")
+	if idx1 != idx2 {
+		t.Fatalf("columns misaligned:\n%s", s)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b"}}
+	tb.Add("1", "2")
+	want := "a,b\n1,2\n"
+	if got := tb.CSV(); got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestFigureTable(t *testing.T) {
+	series := []Series{
+		{Label: "BASE", Points: map[int]uint64{2: 100, 4: 200}},
+		{Label: "TLR", Points: map[int]uint64{2: 50}},
+	}
+	s := FigureTable("title", []int{2, 4}, series)
+	if !strings.Contains(s, "title") || !strings.Contains(s, "BASE") {
+		t.Fatalf("missing pieces:\n%s", s)
+	}
+	if !strings.Contains(s, "-") {
+		t.Fatal("missing point should render as a dash")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[int]string{4: "", 1: "", 16: "", 8: ""}
+	got := SortedKeys(m)
+	want := []int{1, 4, 8, 16}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedKeys = %v", got)
+		}
+	}
+}
+
+func TestCollectAggregates(t *testing.T) {
+	cfg := proc.Config{
+		Procs:  2,
+		Scheme: proc.TLR,
+		Seed:   3,
+		Coherence: coherence.Config{
+			Cache: cache.Config{SizeBytes: 32768, Ways: 4, VictimEntries: 16},
+			Bus:   bus.Config{SnoopLat: 20, DataLat: 20, ArbCycles: 2, Occupancy: 2},
+			L2Lat: 12, MemLat: 70, WriteBufferLines: 64,
+		},
+		UseRMWPredictor: true,
+	}
+	m := proc.NewMachine(cfg)
+	l := m.NewLock()
+	ctr := m.Alloc.PaddedWord()
+	progs := make([]func(*proc.TC), 2)
+	for i := range progs {
+		progs[i] = func(tc *proc.TC) {
+			for n := 0; n < 10; n++ {
+				tc.Critical(l, func() { tc.Store(ctr, tc.Load(ctr)+1) })
+			}
+		}
+	}
+	if err := m.Run(progs); err != nil {
+		t.Fatal(err)
+	}
+	r := Collect(m)
+	if r.Scheme != "BASE+SLE+TLR" || r.Procs != 2 {
+		t.Fatalf("identity wrong: %+v", r)
+	}
+	if r.Commits != 20 {
+		t.Fatalf("commits = %d, want 20", r.Commits)
+	}
+	if r.Cycles == 0 || r.Loads == 0 || r.Stores == 0 || r.BusTxns == 0 {
+		t.Fatalf("missing counters: %+v", r)
+	}
+	if r.Aborts != 0 {
+		// Aborts are possible under contention; just ensure the by-reason
+		// map is consistent with the total.
+		var sum uint64
+		for _, n := range r.AbortsByReason {
+			sum += n
+		}
+		if sum != r.Aborts {
+			t.Fatalf("by-reason sum %d != total %d", sum, r.Aborts)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package trace provides a lightweight structured event trace for the
+// simulator: transaction lifecycles, conflict decisions, protocol messages,
+// and scheme fallbacks, captured in a bounded ring buffer and rendered as
+// human-readable timelines. It exists for the same reason the authors'
+// simulator had one — when a protocol interaction goes wrong, the global
+// event order is the only thing that explains it.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"tlrsim/internal/memsys"
+	"tlrsim/internal/sim"
+)
+
+// Kind classifies trace events.
+type Kind int
+
+const (
+	// TxnBegin: a speculative transaction attempt started.
+	TxnBegin Kind = iota
+	// TxnCommit: atomic commit (write buffer drained, clock advanced).
+	TxnCommit
+	// TxnAbort: misspeculation (info carries the reason).
+	TxnAbort
+	// Fallback: elision gave up; the lock is acquired for real.
+	Fallback
+	// Deferral: an incoming conflicting request was deferred.
+	Deferral
+	// DeferService: a deferred request was answered (commit or abort).
+	DeferService
+	// Nack: an incoming request was refused (NACK retention mode).
+	Nack
+	// ProbeSent and ProbeLost: §3.1.1 probe propagation and its effect.
+	ProbeSent
+	ProbeLost
+	// MarkerSent: a requester learned its upstream neighbour.
+	MarkerSent
+	// Deschedule: an injected preemption squashed the transaction.
+	Deschedule
+	kindCount
+)
+
+func (k Kind) String() string {
+	switch k {
+	case TxnBegin:
+		return "txn-begin"
+	case TxnCommit:
+		return "txn-commit"
+	case TxnAbort:
+		return "txn-abort"
+	case Fallback:
+		return "fallback"
+	case Deferral:
+		return "defer"
+	case DeferService:
+		return "defer-service"
+	case Nack:
+		return "nack"
+	case ProbeSent:
+		return "probe-sent"
+	case ProbeLost:
+		return "probe-lost"
+	case MarkerSent:
+		return "marker-sent"
+	case Deschedule:
+		return "deschedule"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one trace record.
+type Event struct {
+	At   sim.Time
+	CPU  int
+	Kind Kind
+	Line memsys.Addr
+	Info string
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("t=%-8d P%-2d %-13s", uint64(e.At), e.CPU, e.Kind)
+	if e.Line != 0 {
+		s += " " + e.Line.String()
+	}
+	if e.Info != "" {
+		s += " " + e.Info
+	}
+	return s
+}
+
+// Tracer is a bounded ring buffer of events. The zero value is disabled;
+// construct with New. Recording into a full ring overwrites the oldest
+// events (the tail of a long run is what debugging needs).
+type Tracer struct {
+	ring  []Event
+	next  int
+	count uint64
+	byKnd [kindCount]uint64
+}
+
+// New returns a tracer retaining the last capacity events.
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Tracer{ring: make([]Event, 0, capacity)}
+}
+
+// Record appends an event.
+func (t *Tracer) Record(e Event) {
+	if t == nil {
+		return
+	}
+	t.count++
+	if int(e.Kind) < len(t.byKnd) {
+		t.byKnd[e.Kind]++
+	}
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, e)
+		return
+	}
+	t.ring[t.next] = e
+	t.next = (t.next + 1) % cap(t.ring)
+}
+
+// Len reports how many events are retained.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.ring)
+}
+
+// Total reports how many events were ever recorded.
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.count
+}
+
+// Count reports how many events of kind k were recorded.
+func (t *Tracer) Count(k Kind) uint64 {
+	if t == nil || int(k) >= len(t.byKnd) {
+		return 0
+	}
+	return t.byKnd[k]
+}
+
+// Events returns the retained events in chronological order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(t.ring))
+	if len(t.ring) == cap(t.ring) {
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	} else {
+		out = append(out, t.ring...)
+	}
+	return out
+}
+
+// Dump renders the retained events, newest last, optionally filtered to one
+// CPU (pass -1 for all).
+func (t *Tracer) Dump(cpu int) string {
+	var b strings.Builder
+	for _, e := range t.Events() {
+		if cpu >= 0 && e.CPU != cpu {
+			continue
+		}
+		b.WriteString(e.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"tlrsim/internal/sim"
+)
+
+func TestRingKeepsNewest(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(Event{At: sim.Time(100 + 10*i), CPU: i % 2, Kind: TxnCommit})
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", tr.Total())
+	}
+	evs := tr.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatalf("events out of order: %v", evs)
+		}
+	}
+	if evs[0].At != 160 {
+		t.Fatalf("oldest retained = %d, want 160", evs[0].At)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	tr := New(8)
+	tr.Record(Event{Kind: TxnCommit})
+	tr.Record(Event{Kind: TxnCommit})
+	tr.Record(Event{Kind: TxnAbort})
+	if tr.Count(TxnCommit) != 2 || tr.Count(TxnAbort) != 1 || tr.Count(Nack) != 0 {
+		t.Fatal("counts wrong")
+	}
+}
+
+func TestDumpFilters(t *testing.T) {
+	tr := New(8)
+	tr.Record(Event{At: 1, CPU: 0, Kind: TxnBegin, Line: 0x40})
+	tr.Record(Event{At: 2, CPU: 1, Kind: TxnAbort, Info: "conflict"})
+	all := tr.Dump(-1)
+	if !strings.Contains(all, "txn-begin") || !strings.Contains(all, "conflict") {
+		t.Fatalf("dump missing events:\n%s", all)
+	}
+	only1 := tr.Dump(1)
+	if strings.Contains(only1, "txn-begin") || !strings.Contains(only1, "txn-abort") {
+		t.Fatalf("CPU filter broken:\n%s", only1)
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record(Event{Kind: TxnCommit}) // must not panic
+	if tr.Len() != 0 || tr.Total() != 0 || tr.Count(TxnCommit) != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer should be inert")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := TxnBegin; k < kindCount; k++ {
+		if strings.HasPrefix(k.String(), "Kind(") {
+			t.Fatalf("kind %d has no name", int(k))
+		}
+	}
+}

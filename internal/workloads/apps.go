@@ -1,0 +1,662 @@
+package workloads
+
+import (
+	"fmt"
+
+	"tlrsim/internal/memsys"
+	"tlrsim/internal/proc"
+)
+
+// The application kernels below reproduce the critical-section and locking
+// behaviour of the paper's seven applications (Table 1, §6.3): lock kind,
+// contention level, critical-section footprint, and synchronisation
+// frequency. Absolute instruction mixes differ from the SPARC originals —
+// the figures they feed (Fig. 11) are about where time goes around locks,
+// which these kernels reproduce directly.
+
+// Barnes models the octree-build phase of barnes: a tree of per-node locks
+// where every insertion walks root-to-leaf, making the root and upper
+// levels heavily contended with real data conflicts (§6.3: TLR restarts
+// from sub-optimal ordering; MCS's software queue edges it out).
+type Barnes struct {
+	// Bodies is the total number of inserted bodies (paper: 4K).
+	Bodies int
+	// Levels and Branch shape the tree (Levels counts lock levels below
+	// none; default 4 levels, branching 8 like an octree).
+	Levels int
+	Branch int
+	// Work is compute between levels.
+	Work uint64
+
+	locks []*proc.Lock  // node locks, level-major
+	data  []memsys.Addr // node body counters
+	level [][2]int      // level -> [first index, count]
+	per   int
+}
+
+// Name implements Workload.
+func (w *Barnes) Name() string { return "barnes" }
+
+// Setup implements Workload.
+func (w *Barnes) Setup(m *proc.Machine) {
+	if w.Levels <= 0 {
+		w.Levels = 4
+	}
+	if w.Branch <= 0 {
+		w.Branch = 8
+	}
+	if w.Work == 0 {
+		w.Work = 40
+	}
+	total := 0
+	count := 1
+	w.level = make([][2]int, w.Levels)
+	for l := 0; l < w.Levels; l++ {
+		w.level[l] = [2]int{total, count}
+		total += count
+		count *= w.Branch
+	}
+	w.locks = make([]*proc.Lock, total)
+	w.data = m.Alloc.PaddedWords(total)
+	for i := range w.locks {
+		w.locks[i] = m.NewLock()
+	}
+	w.per = perProc(w.Bodies, len(m.CPUs))
+}
+
+// Program implements Workload.
+func (w *Barnes) Program(cpu int) func(*proc.TC) {
+	return func(tc *proc.TC) {
+		for i := 0; i < w.per; i++ {
+			path := tc.Rand().Int()
+			idx := 0
+			for l := 0; l < w.Levels; l++ {
+				node := w.level[l][0] + idx%w.level[l][1]
+				tc.Critical(w.locks[node], func() {
+					a := w.data[node]
+					tc.Store(a, tc.LoadSite(a, siteTreeNode)+1)
+				})
+				tc.Compute(w.Work)
+				idx = idx*w.Branch + path%w.Branch
+				path /= w.Branch
+			}
+		}
+	}
+}
+
+// Validate implements Workload: the root saw every body; each level's
+// counts sum to the body total.
+func (w *Barnes) Validate(m *proc.Machine) error {
+	want := uint64(w.per * len(m.CPUs))
+	for l := 0; l < w.Levels; l++ {
+		var sum uint64
+		for i := 0; i < w.level[l][1]; i++ {
+			sum += m.Sys.ArchWord(w.data[w.level[l][0]+i])
+		}
+		if sum != want {
+			return fmt.Errorf("level %d count = %d, want %d", l, sum, want)
+		}
+	}
+	return nil
+}
+
+// Cholesky models cholesky's task-queue + column locking (Table 1), with a
+// small fraction of critical sections whose write footprint exceeds the
+// speculative write buffer (§6.3: ~3.7% of dynamic critical sections hit
+// resource limits and must take the lock).
+type Cholesky struct {
+	// Tasks is the total number of column-update tasks.
+	Tasks int
+	// Cols is the number of columns; BigCols of them have an oversized
+	// footprint (BigColWords written words) that overflows the write
+	// buffer; the rest write ColWords words.
+	Cols, BigCols int
+	ColWords      int
+	BigColWords   int
+	Work          uint64
+
+	taskLock *proc.Lock
+	next     memsys.Addr
+	colLocks []*proc.Lock
+	colBase  []memsys.Addr
+	colLen   []int
+}
+
+// Name implements Workload.
+func (w *Cholesky) Name() string { return "cholesky" }
+
+// Setup implements Workload.
+func (w *Cholesky) Setup(m *proc.Machine) {
+	if w.Cols <= 0 {
+		w.Cols = 12
+	}
+	if w.ColWords <= 0 {
+		w.ColWords = 24
+	}
+	if w.BigColWords <= 0 {
+		// Large enough that the distinct written lines exceed the paper's
+		// 64-line write buffer.
+		w.BigColWords = (m.Config().Coherence.WriteBufferLines + 4) * memsys.WordsPerLine
+	}
+	if w.Work == 0 {
+		w.Work = 60
+	}
+	w.taskLock = m.NewLock()
+	w.next = m.Alloc.PaddedWord()
+	w.colLocks = make([]*proc.Lock, w.Cols)
+	w.colBase = make([]memsys.Addr, w.Cols)
+	w.colLen = make([]int, w.Cols)
+	for c := 0; c < w.Cols; c++ {
+		w.colLocks[c] = m.NewLock()
+		n := w.ColWords
+		if c < w.BigCols {
+			n = w.BigColWords
+		}
+		m.Alloc.AlignLine()
+		w.colBase[c] = m.Alloc.Words(n)
+		w.colLen[c] = n
+	}
+}
+
+// Program implements Workload.
+func (w *Cholesky) Program(cpu int) func(*proc.TC) {
+	return func(tc *proc.TC) {
+		for {
+			var task uint64
+			tc.Critical(w.taskLock, func() {
+				task = tc.LoadSite(w.next, siteQueueNext)
+				if task < uint64(w.Tasks) {
+					tc.Store(w.next, task+1)
+				}
+			})
+			if task >= uint64(w.Tasks) {
+				return
+			}
+			col := int(task) % w.Cols
+			tc.Critical(w.colLocks[col], func() {
+				base := w.colBase[col]
+				for i := 0; i < w.colLen[col]; i++ {
+					a := base + memsys.Addr(i*memsys.WordBytes)
+					tc.Store(a, tc.LoadSite(a, siteColumn)+1)
+				}
+			})
+			tc.Compute(w.Work)
+		}
+	}
+}
+
+// Validate implements Workload: every word of column c was incremented once
+// per task assigned to c.
+func (w *Cholesky) Validate(m *proc.Machine) error {
+	if got := m.Sys.ArchWord(w.next); got != uint64(w.Tasks) {
+		return fmt.Errorf("task counter = %d, want %d", got, w.Tasks)
+	}
+	for c := 0; c < w.Cols; c++ {
+		want := uint64(w.Tasks / w.Cols)
+		if c < w.Tasks%w.Cols {
+			want++
+		}
+		for i := 0; i < w.colLen[c]; i += memsys.WordsPerLine {
+			a := w.colBase[c] + memsys.Addr(i*memsys.WordBytes)
+			if got := m.Sys.ArchWord(a); got != want {
+				return fmt.Errorf("col %d word %d = %d, want %d", c, i, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+// MP3D models the locking version of mp3d (§5.2): very frequent
+// synchronisation to largely uncontended per-cell locks, with a lock
+// footprint that exceeds the L1 (so lock accesses miss). Coarse switches to
+// one lock for all cells — the §6.3 coarse-vs-fine experiment, which is
+// catastrophic for BASE/MCS but improves TLR by shrinking the data
+// footprint.
+type MP3D struct {
+	// Steps is the total number of particle-move steps.
+	Steps int
+	// Cells is the number of cells (each with its own lock under
+	// fine-grain locking). 2048 cells * 2 lines = 256 KB of lock+data
+	// lines, overflowing a 128 KB L1.
+	Cells int
+	// Coarse selects the single-lock variant.
+	Coarse bool
+	// Work is the free-flight compute between moves.
+	Work uint64
+
+	locks  []*proc.Lock
+	coarse *proc.Lock
+	cells  []memsys.Addr
+	per    int
+}
+
+// Name implements Workload.
+func (w *MP3D) Name() string {
+	if w.Coarse {
+		return "mp3d-coarse"
+	}
+	return "mp3d"
+}
+
+// Setup implements Workload.
+func (w *MP3D) Setup(m *proc.Machine) {
+	if w.Cells <= 0 {
+		w.Cells = 2048
+	}
+	if w.Work == 0 {
+		w.Work = 20
+	}
+	w.cells = m.Alloc.PaddedWords(w.Cells)
+	if w.Coarse {
+		w.coarse = m.NewLock()
+	} else {
+		w.locks = make([]*proc.Lock, w.Cells)
+		for i := range w.locks {
+			w.locks[i] = m.NewLock()
+		}
+	}
+	w.per = perProc(w.Steps, len(m.CPUs))
+}
+
+// Program implements Workload.
+func (w *MP3D) Program(cpu int) func(*proc.TC) {
+	return func(tc *proc.TC) {
+		for i := 0; i < w.per; i++ {
+			cell := tc.Rand().Intn(w.Cells)
+			l := w.coarse
+			if l == nil {
+				l = w.locks[cell]
+			}
+			tc.Critical(l, func() {
+				a := w.cells[cell]
+				tc.Store(a, tc.LoadSite(a, siteCell)+1)
+			})
+			tc.Compute(w.Work)
+		}
+	}
+}
+
+// Validate implements Workload.
+func (w *MP3D) Validate(m *proc.Machine) error {
+	var sum uint64
+	for _, a := range w.cells {
+		sum += m.Sys.ArchWord(a)
+	}
+	want := uint64(w.per * len(m.CPUs))
+	if sum != want {
+		return fmt.Errorf("cell sum = %d, want %d", sum, want)
+	}
+	return nil
+}
+
+// Radiosity models radiosity's contended task queue (§6.3: the task-queue
+// critical section dominates; TLR removes nearly all locking overhead,
+// speedup 1.47 over BASE).
+type Radiosity struct {
+	// Tasks is the total number of work items.
+	Tasks int
+	// Work is the per-task processing cost.
+	Work uint64
+
+	qLock *proc.Lock
+	next  memsys.Addr
+	out   []memsys.Addr
+}
+
+// Name implements Workload.
+func (w *Radiosity) Name() string { return "radiosity" }
+
+// Setup implements Workload.
+func (w *Radiosity) Setup(m *proc.Machine) {
+	if w.Work == 0 {
+		w.Work = 120
+	}
+	w.qLock = m.NewLock()
+	w.next = m.Alloc.PaddedWord()
+	w.out = m.Alloc.PaddedWords(w.Tasks)
+}
+
+// Program implements Workload.
+func (w *Radiosity) Program(cpu int) func(*proc.TC) {
+	return func(tc *proc.TC) {
+		for {
+			var task uint64
+			tc.Critical(w.qLock, func() {
+				task = tc.LoadSite(w.next, siteQueueNext)
+				if task < uint64(w.Tasks) {
+					tc.Store(w.next, task+1)
+				}
+			})
+			if task >= uint64(w.Tasks) {
+				return
+			}
+			tc.Compute(w.Work)
+			tc.Store(w.out[task], uint64(cpu)+1)
+		}
+	}
+}
+
+// Validate implements Workload: every task was processed exactly once.
+func (w *Radiosity) Validate(m *proc.Machine) error {
+	for i, a := range w.out {
+		if v := m.Sys.ArchWord(a); v == 0 {
+			return fmt.Errorf("task %d never processed", i)
+		}
+	}
+	return nil
+}
+
+// WaterNsq models water-nsq's frequent synchronisation to largely
+// uncontended global-structure locks (§6.3: removing the lock exposes the
+// data misses it used to overlap, so TLR gains little, and MCS loses to its
+// per-acquire software overhead).
+type WaterNsq struct {
+	// Mols is the total molecule-update count.
+	Mols int
+	// Locks is the number of global accumulator locks (many more than
+	// processors, so contention is rare).
+	Locks int
+	// Work is the per-molecule compute.
+	Work uint64
+
+	locks []*proc.Lock
+	accum []memsys.Addr
+	per   int
+}
+
+// Name implements Workload.
+func (w *WaterNsq) Name() string { return "water-nsq" }
+
+// Setup implements Workload.
+func (w *WaterNsq) Setup(m *proc.Machine) {
+	if w.Locks <= 0 {
+		w.Locks = 8 * len(m.CPUs)
+	}
+	if w.Work == 0 {
+		w.Work = 80
+	}
+	w.locks = make([]*proc.Lock, w.Locks)
+	for i := range w.locks {
+		w.locks[i] = m.NewLock()
+	}
+	w.accum = m.Alloc.PaddedWords(w.Locks)
+	w.per = perProc(w.Mols, len(m.CPUs))
+}
+
+// Program implements Workload.
+func (w *WaterNsq) Program(cpu int) func(*proc.TC) {
+	return func(tc *proc.TC) {
+		for i := 0; i < w.per; i++ {
+			tc.Compute(w.Work)
+			// Two accumulator updates per molecule, spread so that
+			// same-lock collisions between processors are rare.
+			for j := 0; j < 2; j++ {
+				k := (cpu*13 + i*2 + j*7) % w.Locks
+				tc.Critical(w.locks[k], func() {
+					a := w.accum[k]
+					tc.Store(a, tc.LoadSite(a, siteAccum)+1)
+				})
+			}
+		}
+	}
+}
+
+// Validate implements Workload.
+func (w *WaterNsq) Validate(m *proc.Machine) error {
+	var sum uint64
+	for _, a := range w.accum {
+		sum += m.Sys.ArchWord(a)
+	}
+	want := uint64(2 * w.per * len(m.CPUs))
+	if sum != want {
+		return fmt.Errorf("accumulator sum = %d, want %d", sum, want)
+	}
+	return nil
+}
+
+// OceanCont models ocean-cont: long compute phases with occasional counter
+// locks (§6.3: lock accesses barely contribute, so no scheme moves the
+// needle — TLR speedup 1.02, MCS 1.00).
+type OceanCont struct {
+	// Sweeps is the total number of grid sweeps.
+	Sweeps int
+	// Work is the per-sweep compute (dominates everything).
+	Work uint64
+
+	lock *proc.Lock
+	ctr  memsys.Addr
+	per  int
+}
+
+// Name implements Workload.
+func (w *OceanCont) Name() string { return "ocean-cont" }
+
+// Setup implements Workload.
+func (w *OceanCont) Setup(m *proc.Machine) {
+	if w.Work == 0 {
+		w.Work = 2500
+	}
+	w.lock = m.NewLock()
+	w.ctr = m.Alloc.PaddedWord()
+	w.per = perProc(w.Sweeps, len(m.CPUs))
+}
+
+// Program implements Workload.
+func (w *OceanCont) Program(cpu int) func(*proc.TC) {
+	return func(tc *proc.TC) {
+		for i := 0; i < w.per; i++ {
+			tc.Compute(w.Work)
+			tc.Critical(w.lock, func() {
+				tc.Store(w.ctr, tc.LoadSite(w.ctr, siteCounter)+1)
+			})
+		}
+	}
+}
+
+// Validate implements Workload.
+func (w *OceanCont) Validate(m *proc.Machine) error {
+	want := uint64(w.per * len(m.CPUs))
+	if v := m.Sys.ArchWord(w.ctr); v != want {
+		return fmt.Errorf("sweep counter = %d, want %d", v, want)
+	}
+	return nil
+}
+
+// Raytrace models raytrace (car input): a work list handing out ray chunks
+// plus counter locks, with a moderate lock contribution (§6.3: 16% of
+// execution time; TLR and MCS both reach ~1.17 over BASE).
+type Raytrace struct {
+	// Rays is the total ray count; ChunkSize rays are claimed per worklist
+	// acquisition.
+	Rays      int
+	ChunkSize int
+	// Work is the per-ray compute.
+	Work uint64
+
+	wlLock  *proc.Lock
+	next    memsys.Addr
+	ctrLock *proc.Lock
+	ctr     memsys.Addr
+}
+
+// Name implements Workload.
+func (w *Raytrace) Name() string { return "raytrace" }
+
+// Setup implements Workload.
+func (w *Raytrace) Setup(m *proc.Machine) {
+	if w.ChunkSize <= 0 {
+		w.ChunkSize = 4
+	}
+	if w.Work == 0 {
+		w.Work = 50
+	}
+	w.wlLock = m.NewLock()
+	w.next = m.Alloc.PaddedWord()
+	w.ctrLock = m.NewLock()
+	w.ctr = m.Alloc.PaddedWord()
+}
+
+// Program implements Workload.
+func (w *Raytrace) Program(cpu int) func(*proc.TC) {
+	return func(tc *proc.TC) {
+		for {
+			var start uint64
+			tc.Critical(w.wlLock, func() {
+				start = tc.LoadSite(w.next, siteQueueNext)
+				if start < uint64(w.Rays) {
+					tc.Store(w.next, start+uint64(w.ChunkSize))
+				}
+			})
+			if start >= uint64(w.Rays) {
+				return
+			}
+			n := w.ChunkSize
+			if rem := w.Rays - int(start); rem < n {
+				n = rem
+			}
+			for r := 0; r < n; r++ {
+				tc.Compute(w.Work)
+			}
+			tc.Critical(w.ctrLock, func() {
+				tc.Store(w.ctr, tc.LoadSite(w.ctr, siteCounter)+uint64(n))
+			})
+		}
+	}
+}
+
+// Validate implements Workload.
+func (w *Raytrace) Validate(m *proc.Machine) error {
+	if v := m.Sys.ArchWord(w.ctr); v != uint64(w.Rays) {
+		return fmt.Errorf("ray counter = %d, want %d", v, w.Rays)
+	}
+	return nil
+}
+
+// ReadSet is a synthetic footprint workload for the §3.3/§4 resource
+// guarantees: each critical section reads LinesPerTxn cache lines that all
+// map to the SAME cache set (stride = set count), then increments a
+// counter. With a W-way cache and a V-entry victim cache, transactions
+// touching up to W+V lines of one set are guaranteed lock-free; beyond
+// that they must fall back to the lock (§4's worked example: 16-entry
+// victim + 4-way data cache guarantees 20 lines).
+type ReadSet struct {
+	// Txns is the total number of critical sections.
+	Txns int
+	// LinesPerTxn is the read-set size in same-set cache lines.
+	LinesPerTxn int
+	// SetStrideLines is the line stride between reads (the number of cache
+	// sets, so all reads collide in one set).
+	SetStrideLines int
+
+	lock *proc.Lock
+	base memsys.Addr
+	ctr  memsys.Addr
+	per  int
+}
+
+// Name implements Workload.
+func (w *ReadSet) Name() string { return "read-set" }
+
+// Setup implements Workload.
+func (w *ReadSet) Setup(m *proc.Machine) {
+	if w.SetStrideLines <= 0 {
+		w.SetStrideLines = m.Config().Coherence.Cache.SizeBytes /
+			(m.Config().Coherence.Cache.Ways * memsys.LineBytes)
+	}
+	w.lock = m.NewLock()
+	w.ctr = m.Alloc.PaddedWord()
+	m.Alloc.AlignLine()
+	w.base = m.Alloc.Words(w.LinesPerTxn * w.SetStrideLines * memsys.WordsPerLine)
+	w.per = perProc(w.Txns, len(m.CPUs))
+}
+
+// Program implements Workload.
+func (w *ReadSet) Program(cpu int) func(*proc.TC) {
+	return func(tc *proc.TC) {
+		stride := memsys.Addr(w.SetStrideLines * memsys.LineBytes)
+		for i := 0; i < w.per; i++ {
+			tc.Critical(w.lock, func() {
+				var sum uint64
+				for l := 0; l < w.LinesPerTxn; l++ {
+					sum += tc.Load(w.base + memsys.Addr(l)*stride)
+				}
+				_ = sum // the reads exist to pin lines in the read set
+				tc.Store(w.ctr, tc.LoadSite(w.ctr, siteCounter)+1)
+			})
+		}
+	}
+}
+
+// Validate implements Workload.
+func (w *ReadSet) Validate(m *proc.Machine) error {
+	want := uint64(w.per * len(m.CPUs))
+	if v := m.Sys.ArchWord(w.ctr); v != want {
+		return fmt.Errorf("counter = %d, want %d", v, want)
+	}
+	return nil
+}
+
+// ReadHeavy exercises deferred-queue fan-in: one writer repeatedly updates
+// a shared word inside its critical section while every other processor
+// reads it inside theirs. Each reader's GetS lands at the writer while the
+// word is speculatively written, so the writer's deferred-request queue
+// (Figure 5) holds up to procs-1 entries at once — the workload behind the
+// queue-size ablation.
+type ReadHeavy struct {
+	// Rounds is the number of writer updates.
+	Rounds int
+
+	lock *proc.Lock
+	word memsys.Addr
+	done memsys.Addr
+}
+
+// Name implements Workload.
+func (w *ReadHeavy) Name() string { return "read-heavy" }
+
+// Setup implements Workload.
+func (w *ReadHeavy) Setup(m *proc.Machine) {
+	w.lock = m.NewLock()
+	w.word = m.Alloc.PaddedWord()
+	w.done = m.Alloc.PaddedWord()
+}
+
+// Program implements Workload.
+func (w *ReadHeavy) Program(cpu int) func(*proc.TC) {
+	if cpu == 0 {
+		return func(tc *proc.TC) {
+			for i := 0; i < w.Rounds; i++ {
+				tc.Critical(w.lock, func() {
+					tc.Store(w.word, tc.LoadSite(w.word, siteCounter)+1)
+				})
+			}
+			tc.Store(w.done, 1)
+		}
+	}
+	return func(tc *proc.TC) {
+		var last uint64
+		for {
+			var v, fin uint64
+			tc.Critical(w.lock, func() {
+				v = tc.LoadSite(w.word, siteAccum)
+			})
+			if v < last {
+				panic("read-heavy: value went backwards")
+			}
+			last = v
+			fin = tc.Load(w.done)
+			if fin != 0 {
+				return
+			}
+			tc.Compute(20)
+		}
+	}
+}
+
+// Validate implements Workload.
+func (w *ReadHeavy) Validate(m *proc.Machine) error {
+	if v := m.Sys.ArchWord(w.word); v != uint64(w.Rounds) {
+		return fmt.Errorf("word = %d, want %d", v, w.Rounds)
+	}
+	return nil
+}

@@ -1,0 +1,257 @@
+package workloads
+
+import (
+	"fmt"
+
+	"tlrsim/internal/memsys"
+	"tlrsim/internal/proc"
+)
+
+// Static load-site identifiers for the read-modify-write predictor (§3.1.2).
+const (
+	siteCounter = iota + 1
+	siteHead
+	siteTail
+	siteNodeNext
+	siteNodePrev
+	siteCell
+	siteColumn
+	siteTreeNode
+	siteQueueNext
+	siteAccum
+)
+
+// MultipleCounter is the coarse-grain/no-conflicts microbenchmark (§5.1,
+// Figure 8): n counters protected by ONE lock; each processor uniquely
+// updates only one counter, so critical sections share the lock but never
+// the data.
+type MultipleCounter struct {
+	// TotalOps is the total number of increments across all processors
+	// (the paper uses 2^24; scale down for simulation budget).
+	TotalOps int
+
+	lock *proc.Lock
+	ctrs []memsys.Addr
+	per  int
+}
+
+// Name implements Workload.
+func (w *MultipleCounter) Name() string { return "multiple-counter" }
+
+// Setup implements Workload.
+func (w *MultipleCounter) Setup(m *proc.Machine) {
+	w.lock = m.NewLock()
+	w.ctrs = m.Alloc.PaddedWords(len(m.CPUs))
+	w.per = perProc(w.TotalOps, len(m.CPUs))
+}
+
+// Program implements Workload.
+func (w *MultipleCounter) Program(cpu int) func(*proc.TC) {
+	ctr := w.ctrs[cpu]
+	return func(tc *proc.TC) {
+		for i := 0; i < w.per; i++ {
+			tc.Critical(w.lock, func() {
+				tc.Store(ctr, tc.LoadSite(ctr, siteCounter)+1)
+			})
+			fairnessDelay(tc)
+		}
+	}
+}
+
+// Validate implements Workload.
+func (w *MultipleCounter) Validate(m *proc.Machine) error {
+	for i, a := range w.ctrs {
+		if v := m.Sys.ArchWord(a); v != uint64(w.per) {
+			return fmt.Errorf("counter %d = %d, want %d", i, v, w.per)
+		}
+	}
+	return nil
+}
+
+// SingleCounter is the fine-grain/high-conflicts microbenchmark (§5.1,
+// Figure 9): one counter, one lock, every processor increments the same
+// cache line. No exploitable parallelism exists; the benchmark measures the
+// cost of serialising correctly.
+type SingleCounter struct {
+	// TotalOps is the total number of increments (paper: 2^16).
+	TotalOps int
+
+	lock *proc.Lock
+	ctr  memsys.Addr
+	per  int
+}
+
+// Name implements Workload.
+func (w *SingleCounter) Name() string { return "single-counter" }
+
+// Setup implements Workload.
+func (w *SingleCounter) Setup(m *proc.Machine) {
+	w.lock = m.NewLock()
+	w.ctr = m.Alloc.PaddedWord()
+	w.per = perProc(w.TotalOps, len(m.CPUs))
+}
+
+// Program implements Workload.
+func (w *SingleCounter) Program(cpu int) func(*proc.TC) {
+	return func(tc *proc.TC) {
+		for i := 0; i < w.per; i++ {
+			tc.Critical(w.lock, func() {
+				tc.Store(w.ctr, tc.LoadSite(w.ctr, siteCounter)+1)
+			})
+			fairnessDelay(tc)
+		}
+	}
+}
+
+// Validate implements Workload.
+func (w *SingleCounter) Validate(m *proc.Machine) error {
+	want := uint64(w.per * len(m.CPUs))
+	if v := m.Sys.ArchWord(w.ctr); v != want {
+		return fmt.Errorf("counter = %d, want %d", v, want)
+	}
+	return nil
+}
+
+// LinkedList is the fine-grain/dynamic-conflicts microbenchmark (§5.1,
+// Figure 10): a doubly-linked list with Head and Tail pointers protected by
+// one lock. Each processor dequeues an item from the head and enqueues it
+// at the tail. A non-empty queue can support concurrent enqueue/dequeue
+// (they touch disjoint ends) — concurrency that is impossible to exploit
+// with the single lock but that TLR discovers dynamically.
+type LinkedList struct {
+	// TotalOps is the total number of dequeue+enqueue pairs (paper: 2^16).
+	TotalOps int
+	// InitialNodes sizes the list (defaults to 2*procs so it rarely runs
+	// dry, preserving head/tail independence).
+	InitialNodes int
+
+	lock  *proc.Lock
+	head  memsys.Addr
+	tail  memsys.Addr
+	nodes []memsys.Addr
+	per   int
+}
+
+// Node field offsets within a node's line.
+const (
+	nodeNext  = 0
+	nodePrev  = 8
+	nodeValue = 16
+)
+
+// Name implements Workload.
+func (w *LinkedList) Name() string { return "doubly-linked-list" }
+
+// Setup implements Workload.
+func (w *LinkedList) Setup(m *proc.Machine) {
+	w.lock = m.NewLock()
+	w.head = m.Alloc.PaddedWord()
+	w.tail = m.Alloc.PaddedWord()
+	n := w.InitialNodes
+	if n <= 0 {
+		n = 2 * len(m.CPUs)
+	}
+	w.nodes = make([]memsys.Addr, n)
+	mem := m.Mem()
+	for i := range w.nodes {
+		m.Alloc.AlignLine()
+		w.nodes[i] = m.Alloc.Words(memsys.WordsPerLine)
+		mem.WriteWord(w.nodes[i]+nodeValue, uint64(i+1))
+	}
+	// Link the initial list: nodes[0] is head, nodes[n-1] is tail.
+	for i, node := range w.nodes {
+		next, prev := uint64(0), uint64(0)
+		if i+1 < n {
+			next = uint64(w.nodes[i+1])
+		}
+		if i > 0 {
+			prev = uint64(w.nodes[i-1])
+		}
+		mem.WriteWord(node+nodeNext, next)
+		mem.WriteWord(node+nodePrev, prev)
+	}
+	mem.WriteWord(w.head, uint64(w.nodes[0]))
+	mem.WriteWord(w.tail, uint64(w.nodes[n-1]))
+	w.per = perProc(w.TotalOps, len(m.CPUs))
+}
+
+// Program implements Workload.
+func (w *LinkedList) Program(cpu int) func(*proc.TC) {
+	return func(tc *proc.TC) {
+		for i := 0; i < w.per; i++ {
+			// Dequeue from head.
+			var item uint64
+			tc.Critical(w.lock, func() {
+				item = tc.LoadSite(w.head, siteHead)
+				if item == 0 {
+					return // empty; retry later
+				}
+				next := tc.LoadSite(memsys.Addr(item)+nodeNext, siteNodeNext)
+				tc.Store(w.head, next)
+				if next == 0 {
+					tc.Store(w.tail, 0) // removed the last item
+				} else {
+					tc.Store(memsys.Addr(next)+nodePrev, 0)
+				}
+			})
+			if item == 0 {
+				fairnessDelay(tc)
+				i--
+				continue
+			}
+			fairnessDelay(tc)
+			// Enqueue at tail.
+			tc.Critical(w.lock, func() {
+				tail := tc.LoadSite(w.tail, siteTail)
+				tc.Store(memsys.Addr(item)+nodeNext, 0)
+				tc.Store(memsys.Addr(item)+nodePrev, tail)
+				if tail == 0 {
+					tc.Store(w.head, item) // inserting into an empty list
+				} else {
+					tc.Store(memsys.Addr(tail)+nodeNext, item)
+				}
+				tc.Store(w.tail, item)
+			})
+			fairnessDelay(tc)
+		}
+	}
+}
+
+// Validate implements Workload: every node is back on the list exactly
+// once, forward and backward links agree, and head/tail are consistent.
+func (w *LinkedList) Validate(m *proc.Machine) error {
+	arch := m.Sys.ArchWord
+	seen := make(map[uint64]bool)
+	h, t := arch(w.head), arch(w.tail)
+	if (h == 0) != (t == 0) {
+		return fmt.Errorf("head %x and tail %x disagree about emptiness", h, t)
+	}
+	var prev uint64
+	cur := h
+	for cur != 0 {
+		if seen[cur] {
+			return fmt.Errorf("cycle at node %x", cur)
+		}
+		seen[cur] = true
+		if got := arch(memsys.Addr(cur) + nodePrev); got != prev {
+			return fmt.Errorf("node %x prev = %x, want %x", cur, got, prev)
+		}
+		prev = cur
+		cur = arch(memsys.Addr(cur) + nodeNext)
+		if len(seen) > len(w.nodes) {
+			return fmt.Errorf("list longer than %d nodes", len(w.nodes))
+		}
+	}
+	if prev != t {
+		return fmt.Errorf("walk ended at %x, tail is %x", prev, t)
+	}
+	if len(seen) != len(w.nodes) {
+		return fmt.Errorf("%d nodes on list, want %d", len(seen), len(w.nodes))
+	}
+	for _, n := range w.nodes {
+		if !seen[uint64(n)] {
+			return fmt.Errorf("node %s lost", n)
+		}
+	}
+	return nil
+}

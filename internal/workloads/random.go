@@ -1,0 +1,184 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tlrsim/internal/memsys"
+	"tlrsim/internal/proc"
+)
+
+// RandomMix is a randomized stress workload: a pool of shared words, each
+// protected by one of a pool of locks (word w belongs to lock w mod locks),
+// hammered by threads running randomly generated critical sections —
+// variable numbers of reads and commutative increments, occasional nested
+// sections, occasional read-only accesses from outside any critical section
+// (the §2.2 untimestamped-request case), and random think time.
+//
+// Each iteration's operation list is generated BEFORE the critical section
+// begins, so transaction restarts replay exactly the same operations — the
+// same repeatability contract real hardware gets from re-executing the same
+// instructions. Correctness is machine-checkable despite the randomness:
+// increments commute, so each word's final value equals the generated
+// increment count, which Validate re-derives from the same seeds.
+type RandomMix struct {
+	// Iters is the number of critical sections per thread.
+	Iters int
+	// Words and Locks size the shared state (defaults 16 words, 4 locks).
+	Words, Locks int
+	// NestProb (0-100) is the chance a critical section nests into a
+	// second lock's region.
+	NestProb int
+	// PlainReadProb (0-100) is the chance of an un-locked read between
+	// critical sections (a benign data race the TLR policies must order).
+	PlainReadProb int
+	// Seed drives generation (distinct from the machine seed).
+	Seed int64
+
+	locks []*proc.Lock
+	words []memsys.Addr
+}
+
+// mixOp is one access inside a generated critical section.
+type mixOp struct {
+	word int
+	inc  bool
+}
+
+// mixPlan is one generated iteration.
+type mixPlan struct {
+	lock      int
+	ops       []mixOp
+	nested    bool
+	innerLock int
+	innerWord int
+	plainRead int // word index, or -1
+	think     int
+}
+
+// Name implements Workload.
+func (w *RandomMix) Name() string { return "random-mix" }
+
+func (w *RandomMix) defaults() {
+	if w.Words <= 0 {
+		w.Words = 16
+	}
+	if w.Locks <= 0 {
+		w.Locks = 4
+	}
+	if w.NestProb == 0 {
+		w.NestProb = 15
+	}
+	if w.PlainReadProb == 0 {
+		w.PlainReadProb = 25
+	}
+}
+
+// Setup implements Workload.
+func (w *RandomMix) Setup(m *proc.Machine) {
+	w.defaults()
+	w.locks = make([]*proc.Lock, w.Locks)
+	for i := range w.locks {
+		w.locks[i] = m.NewLock()
+	}
+	w.words = m.Alloc.PaddedWords(w.Words)
+}
+
+// lockWords returns the indices of the words lock l protects.
+func (w *RandomMix) lockWords(l int) []int {
+	var out []int
+	for i := 0; i < w.Words; i++ {
+		if i%w.Locks == l {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// genPlan draws one iteration from the generator stream. Program and
+// Validate both call it, so they see identical programs.
+func (w *RandomMix) genPlan(gen *rand.Rand) mixPlan {
+	p := mixPlan{lock: gen.Intn(w.Locks), plainRead: -1}
+	mine := w.lockWords(p.lock)
+	nops := 1 + gen.Intn(4)
+	for k := 0; k < nops; k++ {
+		p.ops = append(p.ops, mixOp{word: mine[gen.Intn(len(mine))], inc: gen.Intn(2) != 0})
+	}
+	if gen.Intn(100) < w.NestProb && p.lock < w.Locks-1 {
+		// Nest only into HIGHER-numbered locks: the global lock order that
+		// keeps the generated programs deadlock-free under real locking.
+		p.nested = true
+		p.innerLock = p.lock + 1 + gen.Intn(w.Locks-1-p.lock)
+		theirs := w.lockWords(p.innerLock)
+		p.innerWord = theirs[gen.Intn(len(theirs))]
+	}
+	if gen.Intn(100) < w.PlainReadProb {
+		p.plainRead = gen.Intn(w.Words)
+	}
+	p.think = gen.Intn(60)
+	return p
+}
+
+func (w *RandomMix) genStream(cpu int) *rand.Rand {
+	return rand.New(rand.NewSource(w.Seed*7919 + int64(cpu)))
+}
+
+// Program implements Workload.
+func (w *RandomMix) Program(cpu int) func(*proc.TC) {
+	return func(tc *proc.TC) {
+		gen := w.genStream(cpu)
+		for it := 0; it < w.Iters; it++ {
+			p := w.genPlan(gen)
+			body := func() {
+				for _, op := range p.ops {
+					a := w.words[op.word]
+					if op.inc {
+						tc.Store(a, tc.Load(a)+1)
+					} else {
+						tc.Load(a)
+					}
+				}
+				if p.nested {
+					tc.Critical(w.locks[p.innerLock], func() {
+						a := w.words[p.innerWord]
+						tc.Store(a, tc.Load(a)+1)
+					})
+				}
+			}
+			tc.Critical(w.locks[p.lock], body)
+			if p.plainRead >= 0 {
+				// Benign un-locked read: any committed value is legal; the
+				// functional checker verifies it is coherent.
+				tc.Load(w.words[p.plainRead])
+			}
+			tc.Compute(uint64(p.think))
+		}
+	}
+}
+
+// Validate implements Workload: replays the generators and checks every
+// word's final value against the exact generated increment count.
+func (w *RandomMix) Validate(m *proc.Machine) error {
+	w.defaults()
+	expect := make([]uint64, w.Words)
+	for cpu := 0; cpu < len(m.CPUs); cpu++ {
+		gen := w.genStream(cpu)
+		for it := 0; it < w.Iters; it++ {
+			p := w.genPlan(gen)
+			for _, op := range p.ops {
+				if op.inc {
+					expect[op.word]++
+				}
+			}
+			if p.nested {
+				expect[p.innerWord]++
+			}
+		}
+	}
+	for i, a := range w.words {
+		if got := m.Sys.ArchWord(a); got != expect[i] {
+			return fmt.Errorf("word %d = %d, want %d increments", i, got, expect[i])
+		}
+	}
+	return nil
+}

@@ -8,6 +8,7 @@ package tlrsim_test
 // benchmarks regenerate the underlying series.
 
 import (
+	"fmt"
 	"testing"
 
 	"tlrsim"
@@ -153,6 +154,46 @@ func BenchmarkRMWPredictor(b *testing.B) {
 				cycles = uint64(m.Cycles())
 			}
 			b.ReportMetric(float64(cycles), "simcycles")
+		})
+	}
+}
+
+// BenchmarkExperimentAll runs the full evaluation sweep (Figures 8-11, the
+// coarse-vs-fine and RMW studies, and all five ablations) at a reduced
+// operation scale, sequentially (jobs=1) and across eight workers (jobs=8).
+// The experiments enumerate independent simulated machines, so on a >= 8
+// core host the jobs=8 variant should finish at least ~2x faster at
+// identical simulated results; on fewer cores the two converge.
+func BenchmarkExperimentAll(b *testing.B) {
+	experiments := []struct {
+		name string
+		run  func(tlrsim.ExperimentOptions) error
+	}{
+		{"fig8", func(o tlrsim.ExperimentOptions) error { _, err := tlrsim.Fig8(o); return err }},
+		{"fig9", func(o tlrsim.ExperimentOptions) error { _, err := tlrsim.Fig9(o); return err }},
+		{"fig10", func(o tlrsim.ExperimentOptions) error { _, err := tlrsim.Fig10(o); return err }},
+		{"fig11", func(o tlrsim.ExperimentOptions) error { _, err := tlrsim.Fig11(o); return err }},
+		{"coarse", func(o tlrsim.ExperimentOptions) error { _, err := tlrsim.CoarseVsFine(o); return err }},
+		{"rmw", func(o tlrsim.ExperimentOptions) error { _, err := tlrsim.RMWEffect(o); return err }},
+		{"nack", func(o tlrsim.ExperimentOptions) error { _, err := tlrsim.NackVsDeferral(o); return err }},
+		{"queue", func(o tlrsim.ExperimentOptions) error { _, err := tlrsim.DeferredQueueSweep(o); return err }},
+		{"victim", func(o tlrsim.ExperimentOptions) error { _, err := tlrsim.VictimCacheSweep(o); return err }},
+		{"penalty", func(o tlrsim.ExperimentOptions) error { _, err := tlrsim.RestartPenaltySweep(o); return err }},
+		{"storebuf", func(o tlrsim.ExperimentOptions) error { _, err := tlrsim.StoreBufferEffect(o); return err }},
+	}
+	for _, jobs := range []int{1, 8} {
+		jobs := jobs
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			o := tlrsim.DefaultExperimentOptions()
+			o.Ops = 0.25
+			o.Jobs = jobs
+			for i := 0; i < b.N; i++ {
+				for _, e := range experiments {
+					if err := e.run(o); err != nil {
+						b.Fatalf("%s: %v", e.name, err)
+					}
+				}
+			}
 		})
 	}
 }

@@ -6,15 +6,22 @@
 //
 //	tlrsim -experiment fig9
 //	tlrsim -experiment fig11 -ops 2 -procs 16
-//	tlrsim -experiment all
+//	tlrsim -experiment all -jobs 8 -v
 //
-// Experiments: table1, table2, fig8, fig9, fig10, fig11, coarse, rmw, all.
+// Experiments: table1, table2, fig8, fig9, fig10, fig11, coarse, rmw,
+// nack, queue, victim, penalty, storebuf, all.
+//
+// Simulated machines are independent deterministic runs, so -jobs N
+// executes up to N of them concurrently on host cores (default
+// runtime.GOMAXPROCS(0)); output is byte-identical at any -jobs level,
+// and -jobs 1 runs strictly sequentially.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -29,14 +36,25 @@ func main() {
 		procsFlag  = flag.String("procs", "2,4,8,16", "comma-separated processor counts for figure sweeps")
 		appProcs   = flag.Int("app-procs", 16, "processor count for the application study (figure 11)")
 		format     = flag.String("format", "table", "output format: table or csv")
+		jobs       = flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = sequential; results are identical at any value)")
+		verbose    = flag.Bool("v", false, "print per-job completion lines on stderr")
 	)
 	flag.Parse()
 	asCSV = *format == "csv"
+	if *jobs < 1 {
+		fatalf("-jobs must be >= 1")
+	}
 
 	o := tlrsim.DefaultExperimentOptions()
 	o.Ops = *ops
 	o.Seed = *seed
 	o.AppProcs = *appProcs
+	o.Jobs = *jobs
+	if *verbose {
+		o.Progress = func(done, total int, label string, run *tlrsim.Run) {
+			fmt.Fprintf(os.Stderr, "tlrsim: [%d/%d] %s: %d cycles\n", done, total, label, run.Cycles)
+		}
+	}
 	o.Procs = nil
 	for _, s := range strings.Split(*procsFlag, ",") {
 		p, err := strconv.Atoi(strings.TrimSpace(s))
@@ -89,6 +107,14 @@ func main() {
 
 	if *experiment == "all" {
 		for _, name := range []string{"table1", "table2", "fig8", "fig9", "fig10", "fig11", "coarse", "rmw", "nack", "queue", "victim", "penalty", "storebuf"} {
+			if asCSV {
+				// Thirteen otherwise-unlabelled blocks: mark which
+				// experiment each belongs to.
+				fmt.Printf("# %s\n", name)
+			}
+			if *verbose {
+				fmt.Fprintf(os.Stderr, "tlrsim: running %s\n", name)
+			}
 			run(name)
 		}
 		return

@@ -14,14 +14,12 @@ import (
 // deferred-queue size (Figure 5's hardware queue), the victim cache (§3.3
 // resource guarantees), and the misspeculation restart penalty.
 
-func runPolicy(o Options, procs int, pol func(*proc.Config), build func() workloads.Workload) (*stats.Run, error) {
+// policyConfig returns the TLR machine with a configuration mutation
+// applied — the shape every ablation point takes.
+func policyConfig(o Options, procs int, pol func(*proc.Config)) proc.Config {
 	cfg := MachineConfig(procs, proc.TLR, o.Seed)
 	pol(&cfg)
-	m, err := workloads.Run(cfg, build())
-	if err != nil {
-		return nil, err
-	}
-	return stats.Collect(m), nil
+	return cfg
 }
 
 // NackVsDeferral compares the paper's deferral-based ownership retention
@@ -31,24 +29,35 @@ func runPolicy(o Options, procs int, pol func(*proc.Config), build func() worklo
 // arrives exactly at the winner's commit, while NACKed requesters re-inject
 // retry traffic and add round-trip latency.
 func NackVsDeferral(o Options) (*Result, error) {
-	res := &Result{Name: "nack-vs-deferral", Runs: make(map[string]map[int]*stats.Run)}
 	total := o.scaled(2048)
 	build := func() workloads.Workload { return &workloads.SingleCounter{TotalOps: total} }
-	t := &stats.Table{Header: []string{"retention", "procs", "cycles", "aborts", "busTxns"}}
-	for _, nack := range []bool{false, true} {
-		label := "deferral"
-		if nack {
-			label = "NACK"
+	labels := []string{"deferral", "NACK"}
+	var points []point
+	for li, nack := range []bool{false, true} {
+		for _, p := range o.Procs {
+			nack := nack
+			points = append(points, point{
+				label: fmt.Sprintf("%s procs=%d", labels[li], p),
+				cfg: policyConfig(o, p, func(c *proc.Config) {
+					c.Policy = core.DefaultPolicy()
+					c.Policy.RetentionNACK = nack
+				}),
+				build: build,
+			})
 		}
+	}
+	runs, err := runPoints(o, points)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Name: "nack-vs-deferral", Runs: make(map[string]map[int]*stats.Run)}
+	t := &stats.Table{Header: []string{"retention", "procs", "cycles", "aborts", "busTxns"}}
+	i := 0
+	for _, label := range labels {
 		res.Runs[label] = make(map[int]*stats.Run)
 		for _, p := range o.Procs {
-			run, err := runPolicy(o, p, func(c *proc.Config) {
-				c.Policy = core.DefaultPolicy()
-				c.Policy.RetentionNACK = nack
-			}, build)
-			if err != nil {
-				return nil, fmt.Errorf("%s procs=%d: %w", label, p, err)
-			}
+			run := runs[i]
+			i++
 			res.Runs[label][p] = run
 			t.Add(label, fmt.Sprintf("%d", p), fmt.Sprintf("%d", run.Cycles),
 				fmt.Sprintf("%d", run.Aborts), fmt.Sprintf("%d", run.BusTxns))
@@ -62,21 +71,30 @@ func NackVsDeferral(o Options) (*Result, error) {
 // (Figure 5). Too small a queue forces Service decisions (restarts) under
 // fan-in; the default 16 suffices for 16 processors.
 func DeferredQueueSweep(o Options) (*Result, error) {
-	res := &Result{Name: "deferred-queue", Runs: make(map[string]map[int]*stats.Run)}
 	rounds := o.scaled(256)
 	procs := o.AppProcs
-	t := &stats.Table{Header: []string{"queueSize", "cycles", "aborts", "deferrals"}}
-	for _, size := range []int{1, 2, 4, 8, 16} {
+	sizes := []int{1, 2, 4, 8, 16}
+	var points []point
+	for _, size := range sizes {
 		size := size
-		run, err := runPolicy(o, procs, func(c *proc.Config) {
-			c.Policy = core.DefaultPolicy()
-			c.Policy.MaxDeferred = size
-		}, func() workloads.Workload { return &workloads.ReadHeavy{Rounds: rounds} })
-		if err != nil {
-			return nil, fmt.Errorf("size=%d: %w", size, err)
-		}
-		label := fmt.Sprintf("defer=%d", size)
-		res.Runs[label] = map[int]*stats.Run{procs: run}
+		points = append(points, point{
+			label: fmt.Sprintf("size=%d", size),
+			cfg: policyConfig(o, procs, func(c *proc.Config) {
+				c.Policy = core.DefaultPolicy()
+				c.Policy.MaxDeferred = size
+			}),
+			build: func() workloads.Workload { return &workloads.ReadHeavy{Rounds: rounds} },
+		})
+	}
+	runs, err := runPoints(o, points)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Name: "deferred-queue", Runs: make(map[string]map[int]*stats.Run)}
+	t := &stats.Table{Header: []string{"queueSize", "cycles", "aborts", "deferrals"}}
+	for i, size := range sizes {
+		run := runs[i]
+		res.Runs[fmt.Sprintf("defer=%d", size)] = map[int]*stats.Run{procs: run}
 		t.Add(fmt.Sprintf("%d", size), fmt.Sprintf("%d", run.Cycles),
 			fmt.Sprintf("%d", run.Aborts), fmt.Sprintf("%d", run.Deferrals))
 	}
@@ -89,23 +107,32 @@ func DeferredQueueSweep(o Options) (*Result, error) {
 // footprint guarantee (§3.3/§4): transactions whose data set exceeds
 // ways+victim in one set must fall back to the lock.
 func VictimCacheSweep(o Options) (*Result, error) {
-	res := &Result{Name: "victim-cache", Runs: make(map[string]map[int]*stats.Run)}
 	procs := 4
-	t := &stats.Table{Header: []string{"victimEntries", "cycles", "resourceAborts", "fallbacks"}}
-	for _, entries := range []int{0, 4, 16} {
+	entrySet := []int{0, 4, 16}
+	var points []point
+	for _, entries := range entrySet {
 		entries := entries
-		run, err := runPolicy(o, procs, func(c *proc.Config) {
-			c.Coherence.Cache.VictimEntries = entries
-		}, func() workloads.Workload {
-			// Eight same-set lines per transaction: beyond a 4-way set
-			// without a victim cache, within the guarantee with one.
-			return &workloads.ReadSet{Txns: o.scaled(64), LinesPerTxn: 8}
+		points = append(points, point{
+			label: fmt.Sprintf("victim=%d", entries),
+			cfg: policyConfig(o, procs, func(c *proc.Config) {
+				c.Coherence.Cache.VictimEntries = entries
+			}),
+			build: func() workloads.Workload {
+				// Eight same-set lines per transaction: beyond a 4-way set
+				// without a victim cache, within the guarantee with one.
+				return &workloads.ReadSet{Txns: o.scaled(64), LinesPerTxn: 8}
+			},
 		})
-		if err != nil {
-			return nil, fmt.Errorf("victim=%d: %w", entries, err)
-		}
-		label := fmt.Sprintf("victim=%d", entries)
-		res.Runs[label] = map[int]*stats.Run{procs: run}
+	}
+	runs, err := runPoints(o, points)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Name: "victim-cache", Runs: make(map[string]map[int]*stats.Run)}
+	t := &stats.Table{Header: []string{"victimEntries", "cycles", "resourceAborts", "fallbacks"}}
+	for i, entries := range entrySet {
+		run := runs[i]
+		res.Runs[fmt.Sprintf("victim=%d", entries)] = map[int]*stats.Run{procs: run}
 		t.Add(fmt.Sprintf("%d", entries), fmt.Sprintf("%d", run.Cycles),
 			fmt.Sprintf("%d", run.AbortsByReason["resource"]), fmt.Sprintf("%d", run.Fallbacks))
 	}
@@ -115,21 +142,31 @@ func VictimCacheSweep(o Options) (*Result, error) {
 
 // RestartPenaltySweep varies the misspeculation recovery cost.
 func RestartPenaltySweep(o Options) (*Result, error) {
-	res := &Result{Name: "restart-penalty", Runs: make(map[string]map[int]*stats.Run)}
 	total := o.scaled(1024)
 	procs := o.AppProcs
+	penalties := []uint64{1, 10, 100, 1000}
+	var points []point
+	for _, pen := range penalties {
+		pen := pen
+		points = append(points, point{
+			label: fmt.Sprintf("penalty=%d", pen),
+			cfg: policyConfig(o, procs, func(c *proc.Config) {
+				c.RestartPenalty = pen
+				c.Policy = core.DefaultPolicy()
+				c.Policy.StrictTimestamps = true // strict mode restarts more; the penalty matters
+			}),
+			build: func() workloads.Workload { return &workloads.SingleCounter{TotalOps: total} },
+		})
+	}
+	runs, err := runPoints(o, points)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Name: "restart-penalty", Runs: make(map[string]map[int]*stats.Run)}
 	t := &stats.Table{Header: []string{"penalty", "cycles", "aborts"}}
-	for _, pen := range []uint64{1, 10, 100, 1000} {
-		run, err := runPolicy(o, procs, func(c *proc.Config) {
-			c.RestartPenalty = pen
-			c.Policy = core.DefaultPolicy()
-			c.Policy.StrictTimestamps = true // strict mode restarts more; the penalty matters
-		}, func() workloads.Workload { return &workloads.SingleCounter{TotalOps: total} })
-		if err != nil {
-			return nil, fmt.Errorf("penalty=%d: %w", pen, err)
-		}
-		label := fmt.Sprintf("penalty=%d", pen)
-		res.Runs[label] = map[int]*stats.Run{procs: run}
+	for i, pen := range penalties {
+		run := runs[i]
+		res.Runs[fmt.Sprintf("penalty=%d", pen)] = map[int]*stats.Run{procs: run}
 		t.Add(fmt.Sprintf("%d", pen), fmt.Sprintf("%d", run.Cycles), fmt.Sprintf("%d", run.Aborts))
 	}
 	res.Report = "Misspeculation restart-penalty sweep (strict-ts single-counter)\n" + t.String()
@@ -142,28 +179,49 @@ func RestartPenaltySweep(o Options) (*Result, error) {
 // serialises — one of the two reasons our BASE is slower relative to TLR
 // than the paper's out-of-order BASE (EXPERIMENTS.md).
 func StoreBufferEffect(o Options) (*Result, error) {
-	res := &Result{Name: "store-buffer", Runs: make(map[string]map[int]*stats.Run)}
-	t := &stats.Table{Header: []string{"app", "scheme", "blocking", "buffered", "speedup"}}
-	for _, build := range AppSet(o) {
+	variants := []string{"blocking", "buffered"}
+	schemes := []proc.Scheme{proc.Base, proc.TLR}
+	builders := AppSet(o)
+	var points []point
+	var rows []struct {
+		app    string
+		scheme proc.Scheme
+	}
+	for _, build := range builders {
 		name := build().Name()
-		for _, scheme := range []proc.Scheme{proc.Base, proc.TLR} {
-			cfgOff := MachineConfig(o.AppProcs, scheme, o.Seed)
-			cfgOn := cfgOff
-			cfgOn.Coherence.StoreBufferEntries = 64
-			mOff, err := workloads.Run(cfgOff, build())
-			if err != nil {
-				return nil, err
+		for _, scheme := range schemes {
+			rows = append(rows, struct {
+				app    string
+				scheme proc.Scheme
+			}{name, scheme})
+			for vi, v := range variants {
+				cfg := MachineConfig(o.AppProcs, scheme, o.Seed)
+				if vi == 1 {
+					cfg.Coherence.StoreBufferEntries = 64
+				}
+				points = append(points, point{
+					label: fmt.Sprintf("%s/%v: %s procs=%d", name, scheme, v, o.AppProcs),
+					cfg:   cfg,
+					build: build,
+				})
 			}
-			mOn, err := workloads.Run(cfgOn, build())
-			if err != nil {
-				return nil, err
-			}
-			off, on := stats.Collect(mOff), stats.Collect(mOn)
-			label := name + "/" + scheme.String()
-			res.Runs[label] = map[int]*stats.Run{0: off, 1: on}
-			t.Add(name, scheme.String(), fmt.Sprintf("%d", off.Cycles),
-				fmt.Sprintf("%d", on.Cycles), fmt.Sprintf("%.3f", on.Speedup(off)))
 		}
+	}
+	runs, err := runPoints(o, points)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Name:     "store-buffer",
+		Runs:     make(map[string]map[int]*stats.Run),
+		Variants: variants,
+	}
+	t := &stats.Table{Header: []string{"app", "scheme", "blocking", "buffered", "speedup"}}
+	for i, row := range rows {
+		off, on := runs[2*i], runs[2*i+1]
+		res.Runs[row.app+"/"+row.scheme.String()] = map[int]*stats.Run{0: off, 1: on}
+		t.Add(row.app, row.scheme.String(), fmt.Sprintf("%d", off.Cycles),
+			fmt.Sprintf("%d", on.Cycles), fmt.Sprintf("%.3f", on.Speedup(off)))
 	}
 	res.Report = "TSO store buffer effect (blocking vs 64-entry buffered stores)\n" + t.String()
 	return res, nil

@@ -6,6 +6,11 @@
 // experiments reproduce the SHAPE of each result — who wins, by roughly
 // what factor, and where the crossovers fall — as recorded in
 // EXPERIMENTS.md.
+//
+// Every experiment enumerates its (scheme, processor-count, configuration)
+// points up front and submits them to internal/runner, which executes the
+// simulated machines across host cores. Results come back in enumeration
+// order, so reports are byte-identical at any parallelism level.
 package harness
 
 import (
@@ -17,6 +22,7 @@ import (
 	"tlrsim/internal/cache"
 	"tlrsim/internal/coherence"
 	"tlrsim/internal/proc"
+	"tlrsim/internal/runner"
 	"tlrsim/internal/stats"
 	"tlrsim/internal/workloads"
 )
@@ -33,6 +39,14 @@ type Options struct {
 	Procs []int
 	// AppProcs is the processor count for Figure 11 (paper: 16).
 	AppProcs int
+	// Jobs bounds how many simulated machines run concurrently on the host
+	// (0 = runtime.GOMAXPROCS(0), 1 = strictly sequential). Reports are
+	// independent of Jobs: each machine is an isolated deterministic run
+	// and results are assembled in enumeration order.
+	Jobs int
+	// Progress, when non-nil, receives one callback per completed
+	// simulation, in completion order.
+	Progress runner.Progress
 }
 
 // DefaultOptions returns the standard experiment configuration.
@@ -85,6 +99,15 @@ type Result struct {
 	Name   string
 	Runs   map[string]map[int]*stats.Run // scheme label -> procs -> run
 	Report string
+	// Variants, when non-empty, marks a two-(or more-)variant experiment
+	// such as RMWEffect or StoreBufferEffect: the inner map keys of Runs
+	// are variant indices (0, 1, ...) named by Variants, not processor
+	// counts, and CSV renders one labelled column per variant under a
+	// KeyCol first column instead of a procs column.
+	Variants []string
+	// KeyCol names the first CSV column for variant experiments
+	// ("app", "config"); empty means "config".
+	KeyCol string
 }
 
 // Get returns the run for a scheme label at a processor count.
@@ -95,29 +118,51 @@ func (r *Result) Get(scheme string, procs int) *stats.Run {
 	return nil
 }
 
-// runOne executes a workload builder under a scheme at a processor count.
-func runOne(o Options, scheme proc.Scheme, procs int, build func() workloads.Workload) (*stats.Run, error) {
-	cfg := MachineConfig(procs, scheme, o.Seed)
-	m, err := workloads.Run(cfg, build())
-	if err != nil {
-		return nil, fmt.Errorf("%v procs=%d: %w", scheme, procs, err)
+// point is one enumerated simulation of an experiment: a display/error
+// label, a machine configuration, and a workload builder.
+type point struct {
+	label string
+	cfg   proc.Config
+	build func() workloads.Workload
+}
+
+// runPoints executes the experiment's points on the worker pool configured
+// by o and returns the results in enumeration order.
+func runPoints(o Options, points []point) ([]*stats.Run, error) {
+	jobs := make([]runner.Job, len(points))
+	for i, pt := range points {
+		jobs[i] = runner.Job{Label: pt.label, Config: pt.cfg, Build: pt.build}
 	}
-	return stats.Collect(m), nil
+	pool := &runner.Pool{Workers: o.Jobs, Progress: o.Progress}
+	return pool.Run(jobs)
 }
 
 // sweep runs a microbenchmark across schemes and processor counts.
 func sweep(name string, o Options, schemes []proc.Scheme, build func() workloads.Workload) (*Result, error) {
+	var points []point
+	for _, scheme := range schemes {
+		for _, p := range o.Procs {
+			points = append(points, point{
+				label: fmt.Sprintf("%v procs=%d", scheme, p),
+				cfg:   MachineConfig(p, scheme, o.Seed),
+				build: build,
+			})
+		}
+	}
+	runs, err := runPoints(o, points)
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{Name: name, Runs: make(map[string]map[int]*stats.Run)}
 	var series []stats.Series
+	i := 0
 	for _, scheme := range schemes {
 		label := scheme.String()
 		res.Runs[label] = make(map[int]*stats.Run)
 		s := stats.Series{Label: label, Points: make(map[int]uint64)}
 		for _, p := range o.Procs {
-			run, err := runOne(o, scheme, p, build)
-			if err != nil {
-				return nil, err
-			}
+			run := runs[i]
+			i++
 			res.Runs[label][p] = run
 			s.Points[p] = run.Cycles
 		}
@@ -199,20 +244,34 @@ func (r *AppResult) Get(app, scheme string) *stats.Run { return r.Runs[app][sche
 // into lock and non-lock contributions.
 func Fig11(o Options) (*AppResult, error) {
 	schemes := []proc.Scheme{proc.Base, proc.SLE, proc.TLR, proc.MCS}
+	builders := AppSet(o)
 	res := &AppResult{Runs: make(map[string]map[string]*stats.Run)}
+	var points []point
+	for _, build := range builders {
+		name := build().Name()
+		res.Apps = append(res.Apps, name)
+		for _, scheme := range schemes {
+			points = append(points, point{
+				label: fmt.Sprintf("%s: %v procs=%d", name, scheme, o.AppProcs),
+				cfg:   MachineConfig(o.AppProcs, scheme, o.Seed),
+				build: build,
+			})
+		}
+	}
+	runs, err := runPoints(o, points)
+	if err != nil {
+		return nil, err
+	}
 	t := &stats.Table{Header: []string{
 		"app", "scheme", "cycles", "norm", "lock%", "commits", "aborts", "fallbacks",
 	}}
-	for _, build := range AppSet(o) {
-		name := build().Name()
-		res.Apps = append(res.Apps, name)
+	i := 0
+	for _, name := range res.Apps {
 		res.Runs[name] = make(map[string]*stats.Run)
 		var base *stats.Run
 		for _, scheme := range schemes {
-			run, err := runOne(o, scheme, o.AppProcs, build)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", name, err)
-			}
+			run := runs[i]
+			i++
 			res.Runs[name][scheme.String()] = run
 			if scheme == proc.Base {
 				base = run
@@ -237,9 +296,7 @@ func Fig11(o Options) (*AppResult, error) {
 // for BASE (severe contention) but FASTER than fine-grain under TLR
 // (paper: TLR-coarse beats BASE-fine by 2.40x and TLR-fine by 1.70x).
 func CoarseVsFine(o Options) (*Result, error) {
-	res := &Result{Name: "coarse-vs-fine", Runs: make(map[string]map[int]*stats.Run)}
-	t := &stats.Table{Header: []string{"config", "cycles", "lock%", "aborts", "fallbacks"}}
-	for _, c := range []struct {
+	configs := []struct {
 		label  string
 		scheme proc.Scheme
 		coarse bool
@@ -248,13 +305,26 @@ func CoarseVsFine(o Options) (*Result, error) {
 		{"BASE/coarse", proc.Base, true},
 		{"TLR/fine", proc.TLR, false},
 		{"TLR/coarse", proc.TLR, true},
-	} {
-		run, err := runOne(o, c.scheme, o.AppProcs, func() workloads.Workload {
-			return &workloads.MP3D{Steps: o.scaled(3072), Cells: 2048, Work: 20, Coarse: c.coarse}
+	}
+	var points []point
+	for _, c := range configs {
+		coarse := c.coarse
+		points = append(points, point{
+			label: fmt.Sprintf("%s procs=%d", c.label, o.AppProcs),
+			cfg:   MachineConfig(o.AppProcs, c.scheme, o.Seed),
+			build: func() workloads.Workload {
+				return &workloads.MP3D{Steps: o.scaled(3072), Cells: 2048, Work: 20, Coarse: coarse}
+			},
 		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	runs, err := runPoints(o, points)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Name: "coarse-vs-fine", Runs: make(map[string]map[int]*stats.Run)}
+	t := &stats.Table{Header: []string{"config", "cycles", "lock%", "aborts", "fallbacks"}}
+	for i, c := range configs {
+		run := runs[i]
 		res.Runs[c.label] = map[int]*stats.Run{o.AppProcs: run}
 		t.Add(c.label, fmt.Sprintf("%d", run.Cycles),
 			fmt.Sprintf("%.1f", 100*run.LockFraction()),
@@ -268,22 +338,36 @@ func CoarseVsFine(o Options) (*Result, error) {
 // RMWEffect regenerates the §6.3 read-modify-write predictor study: BASE
 // with and without the PC-indexed collapsing predictor.
 func RMWEffect(o Options) (*Result, error) {
-	res := &Result{Name: "rmw-predictor", Runs: make(map[string]map[int]*stats.Run)}
-	t := &stats.Table{Header: []string{"app", "BASE-no-opt", "BASE", "speedup"}}
-	for _, build := range AppSet(o) {
+	variants := []string{"BASE-no-opt", "BASE"}
+	builders := AppSet(o)
+	var points []point
+	var names []string
+	for _, build := range builders {
 		name := build().Name()
-		cfgOn := MachineConfig(o.AppProcs, proc.Base, o.Seed)
-		cfgOff := cfgOn
-		cfgOff.UseRMWPredictor = false
-		mOff, err := workloads.Run(cfgOff, build())
-		if err != nil {
-			return nil, err
+		names = append(names, name)
+		for vi, v := range variants {
+			cfg := MachineConfig(o.AppProcs, proc.Base, o.Seed)
+			cfg.UseRMWPredictor = vi == 1
+			points = append(points, point{
+				label: fmt.Sprintf("%s: %s procs=%d", name, v, o.AppProcs),
+				cfg:   cfg,
+				build: build,
+			})
 		}
-		mOn, err := workloads.Run(cfgOn, build())
-		if err != nil {
-			return nil, err
-		}
-		off, on := stats.Collect(mOff), stats.Collect(mOn)
+	}
+	runs, err := runPoints(o, points)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Name:     "rmw-predictor",
+		Runs:     make(map[string]map[int]*stats.Run),
+		Variants: variants,
+		KeyCol:   "app",
+	}
+	t := &stats.Table{Header: []string{"app", "BASE-no-opt", "BASE", "speedup"}}
+	for i, name := range names {
+		off, on := runs[2*i], runs[2*i+1]
 		res.Runs[name] = map[int]*stats.Run{0: off, 1: on}
 		t.Add(name, fmt.Sprintf("%d", off.Cycles), fmt.Sprintf("%d", on.Cycles),
 			fmt.Sprintf("%.3f", on.Speedup(off)))
@@ -326,15 +410,35 @@ func Table1() string {
 	return "Table 1: benchmarks (synthetic kernels reproducing each application's locking behaviour)\n" + t.String()
 }
 
-// CSV renders the result's cycle counts as comma-separated values: one row
-// per processor count, one column per scheme label (sorted for
-// determinism).
+// CSV renders the result's cycle counts as comma-separated values. Sweep
+// results emit one row per processor count and one column per scheme label
+// (sorted for determinism); variant results (RMWEffect, StoreBufferEffect)
+// emit one row per labelled configuration and one column per variant.
 func (r *Result) CSV() string {
 	labels := make([]string, 0, len(r.Runs))
 	for l := range r.Runs {
 		labels = append(labels, l)
 	}
 	sort.Strings(labels)
+	if len(r.Variants) > 0 {
+		key := r.KeyCol
+		if key == "" {
+			key = "config"
+		}
+		t := &stats.Table{Header: append([]string{key}, r.Variants...)}
+		for _, l := range labels {
+			row := []string{l}
+			for vi := range r.Variants {
+				if run, ok := r.Runs[l][vi]; ok {
+					row = append(row, fmt.Sprintf("%d", run.Cycles))
+				} else {
+					row = append(row, "")
+				}
+			}
+			t.Add(row...)
+		}
+		return t.CSV()
+	}
 	procSet := map[int]bool{}
 	for _, runs := range r.Runs {
 		for p := range runs {

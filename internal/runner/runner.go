@@ -1,0 +1,148 @@
+// Package runner executes independent simulation jobs across a bounded
+// worker pool.
+//
+// Each simulated machine is an isolated, deterministic discrete-event run
+// (internal/sim): it shares no mutable state with any other machine, so
+// whole machines can execute concurrently on host cores without perturbing
+// the simulated results. The pool preserves that determinism at the
+// reporting layer by returning results in job order regardless of
+// completion order — an experiment's rendered report is a pure function of
+// its job list, not of host scheduling.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"tlrsim/internal/proc"
+	"tlrsim/internal/stats"
+	"tlrsim/internal/workloads"
+)
+
+// Job is one simulated machine: a configuration plus a workload builder.
+// Build is called inside the worker goroutine, so every job gets a fresh
+// workload instance and jobs never share workload state.
+type Job struct {
+	// Label identifies the job in progress lines and error messages.
+	Label string
+	// Config is the machine under test.
+	Config proc.Config
+	// Build constructs the workload the machine runs.
+	Build func() workloads.Workload
+}
+
+// Progress is called after each job completes. done counts completed jobs
+// including this one; calls are serialised but arrive in completion order,
+// which under parallel execution is not job order.
+type Progress func(done, total int, label string, run *stats.Run)
+
+// Pool is a bounded-concurrency job scheduler.
+type Pool struct {
+	// Workers caps concurrent jobs. <= 0 means runtime.GOMAXPROCS(0);
+	// 1 runs the jobs strictly sequentially in job order.
+	Workers int
+	// Progress, when non-nil, receives one callback per completed job.
+	Progress Progress
+}
+
+// Run executes the jobs and returns their results in job order. On failure
+// the error of the earliest-indexed failed job is returned (so the reported
+// error does not depend on host scheduling), and jobs not yet started are
+// cancelled.
+func (p *Pool) Run(jobs []Job) ([]*stats.Run, error) {
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]*stats.Run, len(jobs))
+	if workers <= 1 {
+		// Sequential path: identical to the pre-runner harness loops,
+		// including stopping at the first error in job order.
+		for i, j := range jobs {
+			run, err := execute(j)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = run
+			p.report(i+1, len(jobs), j.Label, run)
+		}
+		return results, nil
+	}
+
+	var (
+		mu        sync.Mutex
+		wg        sync.WaitGroup
+		next      int
+		done      int
+		errs      = make([]error, len(jobs))
+		cancelled bool
+	)
+	// claim hands out the next job index, or false once the list is
+	// exhausted or a failure has cancelled the remaining jobs.
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if cancelled || next >= len(jobs) {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				run, err := execute(jobs[i])
+				mu.Lock()
+				if err != nil {
+					errs[i] = err
+					cancelled = true // first error wins: stop handing out jobs
+				} else {
+					results[i] = run
+					done++
+					if p.Progress != nil {
+						p.Progress(done, len(jobs), jobs[i].Label, run)
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	// Several in-flight jobs may have failed; report the earliest-indexed
+	// error so the outcome is deterministic.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+func (p *Pool) report(done, total int, label string, run *stats.Run) {
+	if p.Progress != nil {
+		p.Progress(done, total, label, run)
+	}
+}
+
+// execute runs one job to completion and aggregates its counters.
+func execute(j Job) (*stats.Run, error) {
+	m, err := workloads.Run(j.Config, j.Build())
+	if err != nil {
+		if j.Label != "" {
+			return nil, fmt.Errorf("%s: %w", j.Label, err)
+		}
+		return nil, err
+	}
+	return stats.Collect(m), nil
+}

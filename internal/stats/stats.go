@@ -63,15 +63,24 @@ type Table struct {
 // Add appends a row.
 func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
 
-// String renders the table with aligned columns.
+// String renders the table with aligned columns. Widths are sized over the
+// header AND every row (rows may be wider than the header), and the last
+// cell of each line is never padded, so output carries no trailing
+// whitespace.
 func (t *Table) String() string {
-	widths := make([]int, len(t.Header))
+	ncols := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > ncols {
+			ncols = len(r)
+		}
+	}
+	widths := make([]int, ncols)
 	for i, h := range t.Header {
 		widths[i] = len(h)
 	}
 	for _, r := range t.Rows {
 		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}
@@ -82,7 +91,11 @@ func (t *Table) String() string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+			if i == len(cells)-1 {
+				b.WriteString(c)
+			} else {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			}
 		}
 		b.WriteString("\n")
 	}

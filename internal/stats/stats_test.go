@@ -59,6 +59,68 @@ func TestTableCSV(t *testing.T) {
 	}
 }
 
+func TestTableString(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		header []string
+		rows   [][]string
+		want   string
+	}{
+		{
+			name:   "no trailing whitespace",
+			header: []string{"name", "value"},
+			rows:   [][]string{{"a", "1"}, {"longer", "2"}},
+			want:   "name    value\n------  -----\na       1\nlonger  2\n",
+		},
+		{
+			name:   "row wider than header",
+			header: []string{"k", "v"},
+			rows:   [][]string{{"a", "1", "extra"}, {"bb", "22", "x"}},
+			want:   "k   v\n--  --\na   1   extra\nbb  22  x\n",
+		},
+		{
+			name:   "row narrower than header",
+			header: []string{"a", "b", "c"},
+			rows:   [][]string{{"1"}, {"22", "333"}},
+			want:   "a   b    c\n--  ---  -\n1\n22  333\n",
+		},
+		{
+			name:   "empty table renders header and separator",
+			header: []string{"x", "y"},
+			want:   "x  y\n-  -\n",
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tb := &Table{Header: tc.header}
+			for _, r := range tc.rows {
+				tb.Add(r...)
+			}
+			got := tb.String()
+			if got != tc.want {
+				t.Errorf("String() = %q, want %q", got, tc.want)
+			}
+			for _, line := range strings.Split(got, "\n") {
+				if strings.TrimRight(line, " ") != line {
+					t.Errorf("line %q has trailing whitespace", line)
+				}
+			}
+		})
+	}
+}
+
+// Over-wide rows must keep their extra cells aligned with each other, not
+// collapse them into the last header column's width.
+func TestTableWideRowAlignment(t *testing.T) {
+	tb := &Table{Header: []string{"k"}}
+	tb.Add("a", "x", "first")
+	tb.Add("bbbb", "yy", "second")
+	s := tb.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if strings.Index(lines[2], "first") != strings.Index(lines[3], "second") {
+		t.Fatalf("extra columns misaligned:\n%s", s)
+	}
+}
+
 func TestFigureTable(t *testing.T) {
 	series := []Series{
 		{Label: "BASE", Points: map[int]uint64{2: 100, 4: 200}},

@@ -15,18 +15,24 @@ import (
 )
 
 // benchWorkload runs one (workload, scheme, procs) configuration per
-// iteration and reports the simulated cycles of the final run.
+// iteration and reports the simulated cycles of the final run plus the
+// simulator's throughput as host-nanoseconds per simulated cycle —
+// comparable across workloads and machines, unlike raw ns/op.
 func benchWorkload(b *testing.B, procs int, scheme tlrsim.Scheme, build func() tlrsim.Workload) {
 	b.Helper()
-	var cycles uint64
+	var cycles, total uint64
 	for i := 0; i < b.N; i++ {
 		m, err := tlrsim.RunWorkload(tlrsim.DefaultConfig(procs, scheme), build())
 		if err != nil {
 			b.Fatal(err)
 		}
 		cycles = uint64(m.Cycles())
+		total += cycles
 	}
 	b.ReportMetric(float64(cycles), "simcycles")
+	if total > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(total), "ns/simcycle")
+	}
 }
 
 // BenchmarkTable2Config measures machine construction with the paper's
@@ -211,4 +217,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		total += uint64(m.Cycles())
 	}
 	b.ReportMetric(float64(total)/float64(b.N), "simcycles")
+	if total > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(total), "ns/simcycle")
+	}
 }

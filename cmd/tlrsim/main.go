@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -38,11 +39,40 @@ func main() {
 		format     = flag.String("format", "table", "output format: table or csv")
 		jobs       = flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = sequential; results are identical at any value)")
 		verbose    = flag.Bool("v", false, "print per-job completion lines on stderr")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
 	asCSV = *format == "csv"
 	if *jobs < 1 {
 		fatalf("-jobs must be >= 1")
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("-cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatalf("-memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatalf("-memprofile: %v", err)
+			}
+		}()
 	}
 
 	o := tlrsim.DefaultExperimentOptions()

@@ -1,0 +1,145 @@
+package tlrsim_test
+
+// Determinism gate for simulator-performance work: the full `-experiment
+// all` output (both table and CSV formats, exactly as cmd/tlrsim emits
+// them) must stay byte-identical to the committed goldens across seeds.
+// The goldens were generated from the pre-optimization simulator, so any
+// event reordering, stats drift, or formatting change introduced by a hot
+// path rewrite fails this test rather than silently shifting results.
+//
+// Regenerate (only when an intentional model change lands) with:
+//
+//	go test -run TestExperimentReportEquivalence -update-goldens
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tlrsim"
+)
+
+var updateGoldens = flag.Bool("update-goldens", false, "rewrite testdata equivalence goldens")
+
+// equivalenceSeeds are the seeds the acceptance gate runs at.
+var equivalenceSeeds = []int64{1, 2, 42}
+
+// allExperiments mirrors the `-experiment all` order of cmd/tlrsim.
+var allExperiments = []string{
+	"table1", "table2", "fig8", "fig9", "fig10", "fig11",
+	"coarse", "rmw", "nack", "queue", "victim", "penalty", "storebuf",
+}
+
+// runAllExperiments reproduces the stdout of
+// `tlrsim -experiment all -ops 0.25 -seed <seed> [-format csv]`.
+func runAllExperiments(t *testing.T, seed int64, csv bool) string {
+	t.Helper()
+	o := tlrsim.DefaultExperimentOptions()
+	o.Ops = 0.25
+	o.Seed = seed
+
+	var sb strings.Builder
+	emit := func(r *tlrsim.ExperimentResult, err error) {
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if csv {
+			sb.WriteString(r.CSV())
+		} else {
+			sb.WriteString(r.Report)
+			sb.WriteByte('\n')
+		}
+	}
+	for _, name := range allExperiments {
+		if csv {
+			fmt.Fprintf(&sb, "# %s\n", name)
+		}
+		switch name {
+		case "table1":
+			sb.WriteString(tlrsim.Table1())
+			sb.WriteByte('\n')
+		case "table2":
+			sb.WriteString(tlrsim.Table2())
+			sb.WriteByte('\n')
+		case "fig8":
+			emit(tlrsim.Fig8(o))
+		case "fig9":
+			emit(tlrsim.Fig9(o))
+		case "fig10":
+			emit(tlrsim.Fig10(o))
+		case "fig11":
+			r, err := tlrsim.Fig11(o)
+			if err != nil {
+				t.Fatalf("seed %d: fig11: %v", seed, err)
+			}
+			if csv {
+				sb.WriteString(r.CSV())
+			} else {
+				sb.WriteString(r.Report)
+				sb.WriteByte('\n')
+			}
+		case "coarse":
+			emit(tlrsim.CoarseVsFine(o))
+		case "rmw":
+			emit(tlrsim.RMWEffect(o))
+		case "nack":
+			emit(tlrsim.NackVsDeferral(o))
+		case "queue":
+			emit(tlrsim.DeferredQueueSweep(o))
+		case "victim":
+			emit(tlrsim.VictimCacheSweep(o))
+		case "penalty":
+			emit(tlrsim.RestartPenaltySweep(o))
+		case "storebuf":
+			emit(tlrsim.StoreBufferEffect(o))
+		}
+	}
+	return sb.String()
+}
+
+func TestExperimentReportEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep; skipped in -short mode")
+	}
+	for _, seed := range equivalenceSeeds {
+		seed := seed
+		for _, format := range []string{"table", "csv"} {
+			format := format
+			t.Run(fmt.Sprintf("seed=%d/%s", seed, format), func(t *testing.T) {
+				t.Parallel()
+				got := runAllExperiments(t, seed, format == "csv")
+				golden := filepath.Join("testdata", fmt.Sprintf("all_seed%d_%s.golden", seed, format))
+				if *updateGoldens {
+					if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(golden)
+				if err != nil {
+					t.Fatalf("missing golden (run with -update-goldens to create): %v", err)
+				}
+				if got != string(want) {
+					t.Fatalf("output differs from %s (len got %d, want %d); first divergence at byte %d",
+						golden, len(got), len(want), firstDiff(got, string(want)))
+				}
+			})
+		}
+	}
+}
+
+func firstDiff(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

@@ -150,9 +150,12 @@ type Probe struct {
 	From  int
 }
 
-func (m DataResp) msgFrom() int { return m.From }
-func (m Marker) msgFrom() int   { return m.From }
-func (m Probe) msgFrom() int    { return m.From }
+// Messages implement Msg with pointer receivers so they cross the interface
+// without boxing; the hot creation sites go through the pooled SendData /
+// SendMarker / SendProbe helpers, which recycle each message once delivered.
+func (m *DataResp) msgFrom() int { return m.From }
+func (m *Marker) msgFrom() int   { return m.From }
+func (m *Probe) msgFrom() int    { return m.From }
 
 // Receiver accepts data-network messages.
 type Receiver interface {
@@ -196,6 +199,13 @@ type Bus struct {
 	nextID      uint64
 
 	sendFree map[int]sim.Time
+
+	// Free lists for recycled data-network messages: a message is reused the
+	// moment its delivery event has run, so steady-state traffic allocates
+	// nothing.
+	freeData    []*DataResp
+	freeMarkers []*Marker
+	freeProbes  []*Probe
 
 	stats Stats
 }
@@ -277,8 +287,15 @@ func (b *Bus) pump() {
 	if b.cfg.ArbJitter > 0 {
 		at += sim.Time(uint64(b.k.Rand().Int63n(int64(b.cfg.ArbJitter + 1))))
 	}
-	b.k.At(at, b.grant)
+	b.k.AtCall(at, grantEvent, b, nil, 0)
 }
+
+// grantEvent and snoopEvent are the pre-bound schedule callbacks
+// (sim.Callback) for address-network arbitration and snoop resolution; they
+// replace per-grant closure allocations.
+func grantEvent(recv, _ any, _ uint64) { recv.(*Bus).grant() }
+
+func snoopEvent(recv, arg any, _ uint64) { recv.(*Bus).resolveSnoop(arg.(*Txn)) }
 
 func (b *Bus) grant() {
 	b.granting = false
@@ -295,60 +312,131 @@ func (b *Bus) grant() {
 	// Snoop resolution: all controllers observe the transaction SnoopLat
 	// cycles after the order point, atomically in one kernel event so the
 	// ownership query and the state transitions are mutually consistent.
-	b.k.After(b.cfg.SnoopLat, func() {
-		if t.Kind == Upgrade {
-			if s, ok := b.snoopers[t.Src]; ok {
-				t.SrcHolds = s.SnoopShared(t.Line)
-			}
-		}
-		owner := MemID
-		shared := false
-		for _, id := range b.order {
-			if id == MemID {
-				continue
-			}
-			if owner == MemID && b.snoopers[id].SnoopOwner(t.Line) {
-				owner = id
-			}
-			if id != t.Src && !shared && b.snoopers[id].SnoopShared(t.Line) {
-				shared = true
-			}
-		}
-		if owner != MemID && owner != t.Src && (t.Kind == GetS || t.Kind == GetX) {
-			if b.snoopers[owner].SnoopNack(t) {
-				t.Nacked = true
-				b.stats.Nacks++
-			}
-		}
-		for _, id := range b.order {
-			b.snoopers[id].Snoop(t, owner, shared)
-		}
-	})
+	b.k.AfterCall(b.cfg.SnoopLat, snoopEvent, b, t, 0)
 	b.pump()
 }
 
+func (b *Bus) resolveSnoop(t *Txn) {
+	if t.Kind == Upgrade {
+		if s, ok := b.snoopers[t.Src]; ok {
+			t.SrcHolds = s.SnoopShared(t.Line)
+		}
+	}
+	owner := MemID
+	shared := false
+	for _, id := range b.order {
+		if id == MemID {
+			continue
+		}
+		if owner == MemID && b.snoopers[id].SnoopOwner(t.Line) {
+			owner = id
+		}
+		if id != t.Src && !shared && b.snoopers[id].SnoopShared(t.Line) {
+			shared = true
+		}
+	}
+	if owner != MemID && owner != t.Src && (t.Kind == GetS || t.Kind == GetX) {
+		if b.snoopers[owner].SnoopNack(t) {
+			t.Nacked = true
+			b.stats.Nacks++
+		}
+	}
+	for _, id := range b.order {
+		b.snoopers[id].Snoop(t, owner, shared)
+	}
+}
+
 // Send delivers msg to controller `to` over the data network after the data
-// latency plus any injection-port backpressure at the sender.
+// latency plus any injection-port backpressure at the sender. The message is
+// retained until delivery and never recycled; hot paths use the pooled
+// SendData/SendMarker/SendProbe helpers instead.
 func (b *Bus) Send(to int, msg Msg) {
-	from := msg.msgFrom()
 	switch msg.(type) {
-	case DataResp:
+	case *DataResp:
 		b.stats.DataMsgs++
-	case Marker:
+	case *Marker:
 		b.stats.Markers++
-	case Probe:
+	case *Probe:
 		b.stats.Probes++
 	}
+	b.sendMsg(to, msg, deliverEvent)
+}
+
+// SendData sends a pooled DataResp completing split transaction req. data is
+// copied into the message at call time.
+func (b *Bus) SendData(to int, req uint64, line memsys.Addr, data *memsys.LineData, from int, shared bool) {
+	var m *DataResp
+	if n := len(b.freeData); n > 0 {
+		m, b.freeData = b.freeData[n-1], b.freeData[:n-1]
+	} else {
+		m = new(DataResp)
+	}
+	m.Req, m.Line, m.Data, m.From, m.Shared = req, line, *data, from, shared
+	b.stats.DataMsgs++
+	b.sendMsg(to, m, deliverRecycleEvent)
+}
+
+// SendMarker sends a pooled Marker for transaction req.
+func (b *Bus) SendMarker(to int, req uint64, line memsys.Addr, from int) {
+	var m *Marker
+	if n := len(b.freeMarkers); n > 0 {
+		m, b.freeMarkers = b.freeMarkers[n-1], b.freeMarkers[:n-1]
+	} else {
+		m = new(Marker)
+	}
+	m.Req, m.Line, m.From = req, line, from
+	b.stats.Markers++
+	b.sendMsg(to, m, deliverRecycleEvent)
+}
+
+// SendProbe sends a pooled Probe carrying the conflicting timestamp ts.
+func (b *Bus) SendProbe(to int, line memsys.Addr, ts stamp.Stamp, from int) {
+	var m *Probe
+	if n := len(b.freeProbes); n > 0 {
+		m, b.freeProbes = b.freeProbes[n-1], b.freeProbes[:n-1]
+	} else {
+		m = new(Probe)
+	}
+	m.Line, m.Stamp, m.From = line, ts, from
+	b.stats.Probes++
+	b.sendMsg(to, m, deliverRecycleEvent)
+}
+
+// sendMsg schedules the delivery event; deliver decides whether the message
+// returns to its free list afterwards.
+func (b *Bus) sendMsg(to int, msg Msg, deliver sim.Callback) {
+	from := msg.msgFrom()
 	depart := b.sendFree[from]
 	if now := b.k.Now(); depart < now {
 		depart = now
 	}
 	b.sendFree[from] = depart + sim.Time(b.cfg.Occupancy)
-	r, ok := b.recvs[to]
-	if !ok {
+	if _, ok := b.recvs[to]; !ok {
 		panic(fmt.Sprintf("bus: Send to unknown controller %d", to))
 	}
-	b.k.At(depart+sim.Time(b.cfg.DataLat), func() { r.Deliver(msg) })
+	b.k.AtCall(depart+sim.Time(b.cfg.DataLat), deliver, b, msg, uint64(int64(to)))
+}
+
+// deliverEvent and deliverRecycleEvent are the pre-bound delivery callbacks:
+// recv is the Bus, arg the message, n the destination id. Receivers must not
+// retain a recycled message past Deliver.
+func deliverEvent(recv, arg any, n uint64) {
+	b := recv.(*Bus)
+	b.recvs[int(int64(n))].Deliver(arg.(Msg))
+}
+
+func deliverRecycleEvent(recv, arg any, n uint64) {
+	b := recv.(*Bus)
+	msg := arg.(Msg)
+	b.recvs[int(int64(n))].Deliver(msg)
+	switch v := msg.(type) {
+	case *DataResp:
+		b.freeData = append(b.freeData, v)
+	case *Marker:
+		b.freeMarkers = append(b.freeMarkers, v)
+	case *Probe:
+		b.freeProbes = append(b.freeProbes, v)
+	}
 }
 
 // Outstanding reports in-flight address transactions (for quiescence checks

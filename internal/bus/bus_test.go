@@ -159,12 +159,12 @@ func TestDataDelivery(t *testing.T) {
 	b, ctrls, _ := testbus(k, 2)
 	var d memsys.LineData
 	d[3] = 77
-	b.Send(1, DataResp{Req: 9, Line: 0x40, Data: d, From: 0})
+	b.Send(1, &DataResp{Req: 9, Line: 0x40, Data: d, From: 0})
 	k.Run()
 	if len(ctrls[1].msgs) != 1 {
 		t.Fatalf("got %d msgs, want 1", len(ctrls[1].msgs))
 	}
-	resp := ctrls[1].msgs[0].(DataResp)
+	resp := ctrls[1].msgs[0].(*DataResp)
 	if resp.Data[3] != 77 || resp.Req != 9 {
 		t.Fatal("data payload corrupted")
 	}
@@ -179,7 +179,7 @@ func TestSendOccupancySerialisesPerSource(t *testing.T) {
 	b.Attach(1, newFake(1), recvFunc(func(Msg) {}))
 	// Three back-to-back sends from source 1: spaced by occupancy.
 	for i := 0; i < 3; i++ {
-		b.Send(0, Marker{Line: 0x40, From: 1})
+		b.Send(0, &Marker{Line: 0x40, From: 1})
 	}
 	k.Run()
 	if len(arrivals) != 3 {
@@ -199,9 +199,9 @@ func TestStatsCounters(t *testing.T) {
 	b, _, _ := testbus(k, 2)
 	b.Issue(&Txn{Kind: GetX, Line: 0x40, Src: 0})
 	b.Issue(&Txn{Kind: GetS, Line: 0x80, Src: 1})
-	b.Send(1, DataResp{From: 0})
-	b.Send(1, Marker{From: 0})
-	b.Send(0, Probe{From: 1})
+	b.Send(1, &DataResp{From: 0})
+	b.Send(1, &Marker{From: 0})
+	b.Send(0, &Probe{From: 1})
 	k.Run()
 	s := b.Stats()
 	if s.Txns[GetX] != 1 || s.Txns[GetS] != 1 || s.DataMsgs != 1 || s.Markers != 1 || s.Probes != 1 {

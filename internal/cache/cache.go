@@ -13,7 +13,7 @@ package cache
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"tlrsim/internal/memsys"
 )
@@ -117,6 +117,13 @@ type Cache struct {
 	victim  []Line
 	tick    uint64
 	stats   Stats
+
+	// specTouched records the line addresses whose frames had an access bit
+	// set this transaction, so ClearSpecBits clears exactly those frames
+	// instead of scanning the whole array (a per-commit/per-abort cost).
+	// Frames are tracked by address, not pointer: victim moves and
+	// compaction relocate frames, but Probe always finds the live copy.
+	specTouched []memsys.Addr
 }
 
 // New builds a cache. SizeBytes/Ways/LineBytes must give a power-of-two set
@@ -131,11 +138,20 @@ func New(cfg Config) *Cache {
 	}
 	c := &Cache{cfg: cfg, numSets: numSets}
 	c.sets = make([][]Line, numSets)
-	for i := range c.sets {
-		c.sets[i] = make([]Line, cfg.Ways)
-	}
 	c.victim = make([]Line, 0, cfg.VictimEntries)
 	return c
+}
+
+// setFor returns the frames of line's set, allocated on first touch. Lazy
+// allocation keeps machine construction proportional to the working set, not
+// the configured capacity: a nil set reads as all-Invalid (Lookup and Probe
+// iterate zero frames and miss), so only Insert needs real storage.
+func (c *Cache) setFor(line memsys.Addr) []Line {
+	i := c.setIndex(line)
+	if c.sets[i] == nil {
+		c.sets[i] = make([]Line, c.cfg.Ways)
+	}
+	return c.sets[i]
 }
 
 // Stats returns the array counters.
@@ -207,7 +223,7 @@ func (c *Cache) Insert(line memsys.Addr, st State, data memsys.LineData) (frame 
 		got.lru = c.tick
 		return got, nil, true
 	}
-	set := c.sets[c.setIndex(line)]
+	set := c.setFor(line)
 
 	// 1) Free frame.
 	for i := range set {
@@ -285,20 +301,40 @@ func (c *Cache) compactVictim() {
 	c.victim = out
 }
 
+// MarkSpecRead sets the line's transactional-read bit, registering the
+// address for ClearSpecBits. All spec-bit writers must go through MarkSpec*
+// so the touched-line list stays complete.
+func (c *Cache) MarkSpecRead(l *Line) {
+	if !l.SpecRead && !l.SpecWritten {
+		c.specTouched = append(c.specTouched, l.Tag)
+	}
+	l.SpecRead = true
+}
+
+// MarkSpecWritten sets the line's transactional-write bit, registering the
+// address for ClearSpecBits.
+func (c *Cache) MarkSpecWritten(l *Line) {
+	if !l.SpecRead && !l.SpecWritten {
+		c.specTouched = append(c.specTouched, l.Tag)
+	}
+	l.SpecWritten = true
+}
+
 // ClearSpecBits ends a transaction: all access bits drop (the end_defer
 // message's effect in Figure 5), and victim frames that only existed to hold
-// speculative lines become ordinary victims.
+// speculative lines become ordinary victims. Only the lines touched this
+// transaction are visited. Invalidated frames may keep stale bits, which is
+// harmless: every reader of the bits reaches frames through Probe (valid
+// frames only), free-frame selection in Insert precedes the spec-aware LRU
+// pick, and fill() resets the bits on reuse.
 func (c *Cache) ClearSpecBits() {
-	for s := range c.sets {
-		for i := range c.sets[s] {
-			c.sets[s][i].SpecRead = false
-			c.sets[s][i].SpecWritten = false
+	for _, line := range c.specTouched {
+		if l := c.Probe(line); l != nil {
+			l.SpecRead = false
+			l.SpecWritten = false
 		}
 	}
-	for i := range c.victim {
-		c.victim[i].SpecRead = false
-		c.victim[i].SpecWritten = false
-	}
+	c.specTouched = c.specTouched[:0]
 }
 
 // SpecLines returns the line addresses currently in the transaction's data
@@ -317,7 +353,7 @@ func (c *Cache) SpecLines() []memsys.Addr {
 			out = append(out, c.victim[i].Tag)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

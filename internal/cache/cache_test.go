@@ -189,9 +189,9 @@ func TestInvalidateMainAndVictim(t *testing.T) {
 func TestClearSpecBitsAndSpecLines(t *testing.T) {
 	c := small()
 	f0, _, _ := c.Insert(0x40, Modified, memsys.LineData{})
-	f0.SpecWritten = true
+	c.MarkSpecWritten(f0)
 	f1, _, _ := c.Insert(0x80, Shared, memsys.LineData{})
-	f1.SpecRead = true
+	c.MarkSpecRead(f1)
 	c.Insert(0xc0, Shared, memsys.LineData{})
 	lines := c.SpecLines()
 	if len(lines) != 2 || lines[0] != 0x40 || lines[1] != 0x80 {
@@ -200,6 +200,36 @@ func TestClearSpecBitsAndSpecLines(t *testing.T) {
 	c.ClearSpecBits()
 	if len(c.SpecLines()) != 0 {
 		t.Fatal("spec bits survived ClearSpecBits")
+	}
+}
+
+// ClearSpecBits tracks touched lines by address, so it must still find a
+// spec line whose frame was relocated into the victim cache after marking.
+func TestClearSpecBitsAfterVictimMove(t *testing.T) {
+	c := small() // 2 ways, victim 2
+	for i := 0; i < 3; i++ {
+		f, _, ok := c.Insert(addrInSet(c, 0, i), Modified, memsys.LineData{})
+		if !ok {
+			t.Fatalf("insert %d failed", i)
+		}
+		c.MarkSpecWritten(f)
+	}
+	if c.VictimLen() != 1 {
+		t.Fatalf("victim len %d, want 1", c.VictimLen())
+	}
+	if got := len(c.SpecLines()); got != 3 {
+		t.Fatalf("SpecLines = %d, want 3", got)
+	}
+	c.ClearSpecBits()
+	if got := len(c.SpecLines()); got != 0 {
+		t.Fatalf("spec bits survived victim move: %d lines still marked", got)
+	}
+	// Re-marking after a clear must re-register the address.
+	f := c.Probe(addrInSet(c, 0, 1))
+	c.MarkSpecRead(f)
+	c.ClearSpecBits()
+	if len(c.SpecLines()) != 0 {
+		t.Fatal("re-marked line not cleared")
 	}
 }
 

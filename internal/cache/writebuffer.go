@@ -1,7 +1,7 @@
 package cache
 
 import (
-	"sort"
+	"slices"
 
 	"tlrsim/internal/memsys"
 )
@@ -19,6 +19,7 @@ type WriteBuffer struct {
 	words    map[memsys.Addr]uint64
 	lines    map[memsys.Addr]int // line -> word count
 	maxLines int
+	linebuf  []memsys.Addr // reusable backing array for Lines
 }
 
 // NewWriteBuffer returns a buffer limited to maxLines distinct lines.
@@ -58,13 +59,15 @@ func (wb *WriteBuffer) HasLine(line memsys.Addr) bool {
 }
 
 // Lines returns the distinct buffered lines in ascending address order
-// (deterministic commit order).
+// (deterministic commit order). The slice shares one reusable backing array:
+// it is valid only until the next Lines call.
 func (wb *WriteBuffer) Lines() []memsys.Addr {
-	out := make([]memsys.Addr, 0, len(wb.lines))
+	out := wb.linebuf[:0]
 	for l := range wb.lines {
 		out = append(out, l)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
+	wb.linebuf = out
 	return out
 }
 
@@ -82,6 +85,11 @@ func (wb *WriteBuffer) Drain(line memsys.Addr, data *memsys.LineData) {
 	}
 	delete(wb.lines, line)
 }
+
+// Words exposes the buffered word map directly (functional-checker support:
+// the transaction's write set at commit). The caller must treat it as
+// read-only and must not retain it past the next Write/Drain/Discard.
+func (wb *WriteBuffer) Words() map[memsys.Addr]uint64 { return wb.words }
 
 // Snapshot returns a copy of all buffered words (functional-checker
 // support: the transaction's write set at commit).

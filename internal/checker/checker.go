@@ -16,7 +16,7 @@ package checker
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"tlrsim/internal/memsys"
 )
@@ -31,6 +31,7 @@ type Checker struct {
 	plainOps   uint64
 	violations []string
 	limit      int
+	scratch    []memsys.Addr // reusable sort buffer for commit validation
 }
 
 // New returns an empty checker (shadow state all zero, matching the
@@ -48,7 +49,7 @@ func (c *Checker) Preload(a memsys.Addr, v uint64) { c.shadow[a] = v }
 // writer intervened between read and commit — then writes apply atomically.
 func (c *Checker) CommitTxn(cpu int, reads, writes map[memsys.Addr]uint64) {
 	c.txns++
-	for _, a := range sortedAddrs(reads) {
+	for _, a := range c.sortedAddrs(reads) {
 		v := reads[a]
 		if got := c.shadow[a]; got != v {
 			c.report("P%d commit #%d: read %s = %d, architectural value is %d",
@@ -117,11 +118,14 @@ func (c *Checker) Stats() (txns, plainOps uint64) { return c.txns, c.plainOps }
 // Word returns the shadow value at a (test support).
 func (c *Checker) Word(a memsys.Addr) uint64 { return c.shadow[a] }
 
-func sortedAddrs(m map[memsys.Addr]uint64) []memsys.Addr {
-	out := make([]memsys.Addr, 0, len(m))
+// sortedAddrs collects m's keys in ascending order into the checker's
+// reusable scratch buffer (valid until the next call).
+func (c *Checker) sortedAddrs(m map[memsys.Addr]uint64) []memsys.Addr {
+	out := c.scratch[:0]
 	for a := range m {
 		out = append(out, a)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
+	c.scratch = out
 	return out
 }

@@ -196,6 +196,66 @@ func (c *Controller) WriteBufferLines() int { return c.wb.LineCount() }
 // exclusive state up front (RMW-predictor collapse, §3.1.2). done fires when
 // the value is available (possibly immediately, in the current event).
 func (c *Controller) Load(a memsys.Addr, wantExcl bool, done OpDone) {
+	if v, ok := c.LoadHit(a, wantExcl); ok {
+		done(v, true)
+		return
+	}
+	c.LoadMiss(a, wantExcl, done)
+}
+
+// LoadHit services a load synchronously when no kernel round-trip is needed:
+// write-buffer or store-buffer forwarding, or a cache hit (including a hit
+// that starts a background upgrade). It reports false — with no side
+// effects — when the load must take the miss path. This is the CPU's
+// cache-hit fast path: a hit costs no scheduled events beyond the op's own
+// issue tick, charging the same simulated latency as before.
+func (c *Controller) LoadHit(a memsys.Addr, wantExcl bool) (uint64, bool) {
+	spec := c.eng.Speculating()
+	if spec {
+		if v, ok := c.wb.Read(a); ok {
+			// Store-to-load forwarding from the speculative write buffer.
+			c.stats.Loads++
+			if c.sys.Check != nil {
+				c.checkLoad(a, v, c.eng.TxSeq())
+			}
+			return v, true
+		}
+	} else if v, ok := c.sbForward(a); ok {
+		// TSO load→own-store forwarding from the store buffer.
+		c.stats.Loads++
+		if c.sys.Check != nil {
+			c.sbLoadForward = true
+			c.checkLoad(a, v, c.eng.TxSeq())
+			c.sbLoadForward = false
+		}
+		return v, true
+	}
+	line := a.Line()
+	l := c.cache.Probe(line)
+	if l == nil {
+		return 0, false
+	}
+	c.stats.Loads++
+	c.cache.Touch(l)
+	if spec {
+		c.cache.MarkSpecRead(l)
+	}
+	if wantExcl && !l.State.Writable() {
+		// Predicted RMW on a shared copy: start the upgrade early but
+		// do not block the load.
+		c.ensureWritable(line, spec, false)
+	}
+	v := l.Data[a.WordIndex()]
+	if c.sys.Check != nil {
+		c.checkLoad(a, v, c.eng.TxSeq())
+	}
+	return v, true
+}
+
+// LoadMiss issues the asynchronous miss path for a load that LoadHit
+// declined. Callers must have called LoadHit (unsuccessfully) in the same
+// event.
+func (c *Controller) LoadMiss(a memsys.Addr, wantExcl bool, done OpDone) {
 	c.stats.Loads++
 	if c.sys.Check != nil {
 		inner := done
@@ -207,41 +267,12 @@ func (c *Controller) Load(a memsys.Addr, wantExcl bool, done OpDone) {
 			inner(v, ok)
 		}
 	}
-	spec := c.eng.Speculating()
-	if spec {
-		if v, ok := c.wb.Read(a); ok {
-			// Store-to-load forwarding from the speculative write buffer.
-			done(v, true)
-			return
-		}
-	}
-	if !spec {
-		if v, ok := c.sbForward(a); ok {
-			// TSO load→own-store forwarding from the store buffer.
-			c.sbLoadForward = true
-			done(v, true)
-			c.sbLoadForward = false
-			return
-		}
-	}
-	line := a.Line()
-	if l := c.cache.Probe(line); l != nil {
-		c.cache.Touch(l)
-		if spec {
-			l.SpecRead = true
-		}
-		if wantExcl && !l.State.Writable() {
-			// Predicted RMW on a shared copy: start the upgrade early but
-			// do not block the load.
-			c.ensureWritable(line, spec, false)
-		}
-		done(l.Data[a.WordIndex()], true)
-		return
-	}
 	c.stats.Misses++
+	spec := c.eng.Speculating()
+	line := a.Line()
 	excl := wantExcl || (spec && c.eng.WantExclusiveRead(line))
 	m := c.ensureMSHR(line, excl, spec, false)
-	m.waiters = append(m.waiters, func(val uint64, ok bool) { done(val, ok) })
+	m.waiters = append(m.waiters, done)
 	c.addMSHRWordWaiter(m, a)
 }
 
@@ -297,25 +328,39 @@ func (c *Controller) localWord(a memsys.Addr) uint64 {
 	return c.fillForward[a]
 }
 
-// Store performs a store of v to a. Speculative stores land in the write
-// buffer and return immediately (the exclusive request proceeds in the
-// background; commit waits for it). Non-speculative stores block until the
-// line is writable.
-func (c *Controller) Store(a memsys.Addr, v uint64, done OpDone) {
-	c.stats.Stores++
+// StoreOutcome reports how StoreFast handled a store.
+type StoreOutcome int
+
+const (
+	// StoreSlow: not handled; the caller must take the asynchronous Store
+	// path. No side effects occurred.
+	StoreSlow StoreOutcome = iota
+	// StoreDone: the store completed synchronously and successfully.
+	StoreDone
+	// StoreAborted: a speculative overflow aborted the transaction; the
+	// OnAbort callback has already squashed the in-flight operation.
+	StoreAborted
+)
+
+// StoreFast attempts the synchronous store paths: speculative stores (which
+// always resolve in the issuing event, by buffering or by overflow-abort),
+// a store-buffer push with space available, or a direct writable hit. It
+// reports StoreSlow, with no side effects, when the store needs the
+// asynchronous path.
+func (c *Controller) StoreFast(a memsys.Addr, v uint64) StoreOutcome {
 	if c.eng.Speculating() {
+		c.stats.Stores++
 		if !c.wb.Write(a, v) {
 			// Write-buffer capacity exhausted: resource misspeculation and
 			// lock acquisition (§3.3).
 			c.stats.SpecOverflows++
 			c.AbortTxn(core.ReasonResource)
-			done(0, false)
-			return
+			return StoreAborted
 		}
 		line := a.Line()
 		if l := c.cache.Probe(line); l != nil {
-			l.SpecWritten = true
-			l.SpecRead = true
+			c.cache.MarkSpecWritten(l)
+			c.cache.MarkSpecRead(l)
 			if !l.State.Writable() {
 				c.ensureWritable(line, true, true)
 			}
@@ -326,12 +371,47 @@ func (c *Controller) Store(a memsys.Addr, v uint64, done OpDone) {
 			m := c.ensureMSHR(line, true, true, true)
 			m.specWrite = true
 		}
+		return StoreDone
+	}
+	if c.sb != nil {
+		if !c.sb.push(a, v) {
+			return StoreSlow // buffer full: the processor stalls for space
+		}
+		c.stats.Stores++
+		c.sbDrain()
+		return StoreDone
+	}
+	line := a.Line()
+	if l := c.cache.Probe(line); l != nil && l.State.Writable() {
+		c.stats.Stores++
+		c.cache.Touch(l)
+		l.Data[a.WordIndex()] = v
+		l.State = cache.Modified
+		c.checkStore(a, v)
+		c.notifyLine(line)
+		return StoreDone
+	}
+	return StoreSlow
+}
+
+// Store performs a store of v to a. Speculative stores land in the write
+// buffer and return immediately (the exclusive request proceeds in the
+// background; commit waits for it). Non-speculative stores block until the
+// line is writable.
+func (c *Controller) Store(a memsys.Addr, v uint64, done OpDone) {
+	switch c.StoreFast(a, v) {
+	case StoreDone:
 		done(v, true)
 		return
+	case StoreAborted:
+		done(0, false)
+		return
 	}
+	c.stats.Stores++
 	// Non-speculative path: through the TSO store buffer when enabled.
 	if c.sb != nil {
-		c.sbStore(a, v, done)
+		// Buffer full: the store (and the processor) stalls for space.
+		c.sb.whenSpace(func() { c.sbStore(a, v, done) })
 		return
 	}
 	c.storeExec(a, v, done)

@@ -46,20 +46,25 @@ func (m *MemController) Snoop(t *bus.Txn, owner int, shared bool) {
 			lat = m.sys.cfg.L2Lat
 		}
 		m.inL2[t.Line] = true
-		line, req, src := t.Line, t.ID, t.Src
-		sharedResp := shared && t.Kind == bus.GetS
-		m.sys.K.After(lat, func() {
-			m.sys.Bus.Send(src, bus.DataResp{
-				Req:    req,
-				Line:   line,
-				Data:   m.sys.Mem.ReadLine(line),
-				From:   bus.MemID,
-				Shared: sharedResp,
-			})
-		})
+		var sharedResp uint64
+		if shared && t.Kind == bus.GetS {
+			sharedResp = 1
+		}
+		// t's identifying fields are immutable once ordered, so the response
+		// event can carry the transaction itself instead of a closure.
+		m.sys.K.AfterCall(lat, memRespEvent, m, t, sharedResp)
 	case bus.Upgrade:
 		// The requester already has data; nothing for memory to do.
 	}
+}
+
+// memRespEvent supplies the memory/L2 fill for transaction arg (*bus.Txn);
+// n is 1 when the response must install Shared.
+func memRespEvent(recv, arg any, n uint64) {
+	mc := recv.(*MemController)
+	t := arg.(*bus.Txn)
+	data := mc.sys.Mem.ReadLine(t.Line)
+	mc.sys.Bus.SendData(t.Src, t.ID, t.Line, &data, bus.MemID, n == 1)
 }
 
 // Deliver: memory receives no data-network messages in this protocol.

@@ -82,7 +82,7 @@ func (c *Controller) SnoopNack(t *bus.Txn) bool {
 	}
 	if dec == core.Defer {
 		c.stats.NacksSent++
-		c.sys.Trace(c.id, trace.Nack, line, t.Stamp.String())
+		c.sys.TraceStamp(c.id, trace.Nack, line, t.Stamp)
 		return true
 	}
 	return false
@@ -227,7 +227,7 @@ func (c *Controller) snoopOwn(t *bus.Txn, owner int, shared bool) {
 			// else can supply, so self-supply from the write-back buffer.
 			req := t.ID
 			c.sys.K.After(1, func() {
-				c.Deliver(bus.DataResp{Req: req, Line: t.Line, Data: d, From: c.id})
+				c.Deliver(&bus.DataResp{Req: req, Line: t.Line, Data: d, From: c.id})
 			})
 		}
 	}
@@ -293,7 +293,7 @@ func (c *Controller) chainAtPending(m *mshr, t *bus.Txn) {
 	c.stats.ChainedRequests++
 	m.chain = append(m.chain, chainEntry{txn: t})
 	c.sys.Trace(c.id, trace.MarkerSent, t.Line, "")
-	c.sys.Bus.Send(t.Src, bus.Marker{Req: t.ID, Line: t.Line, From: c.id})
+	c.sys.Bus.SendMarker(t.Src, t.ID, t.Line, c.id)
 	// Conflict bookkeeping while we have no data: if the incoming request
 	// has an earlier timestamp and conflicts with our transaction, we will
 	// lose — propagate a probe toward the data holder so higher-priority
@@ -342,8 +342,8 @@ func (c *Controller) snoopAsOwner(t *bus.Txn, l *cache.Line) {
 		}
 		if dec == core.Defer {
 			c.eng.PushDeferred(core.Deferred{Line: line, Stamp: t.Stamp, Payload: t})
-			c.sys.Trace(c.id, trace.Deferral, line, t.Stamp.String())
-			c.sys.Bus.Send(t.Src, bus.Marker{Req: t.ID, Line: line, From: c.id})
+			c.sys.TraceStamp(c.id, trace.Deferral, line, t.Stamp)
+			c.sys.Bus.SendMarker(t.Src, t.ID, line, c.id)
 			if t.Kind != bus.GetS {
 				// Ownership of record moves to the requester; we become a
 				// masked holder until we answer at commit (or abort).
@@ -364,12 +364,12 @@ func (c *Controller) snoopAsOwner(t *bus.Txn, l *cache.Line) {
 func (c *Controller) serviceAsOwner(t *bus.Txn, l *cache.Line) {
 	switch t.Kind {
 	case bus.GetS:
-		c.sys.Bus.Send(t.Src, bus.DataResp{Req: t.ID, Line: t.Line, Data: l.Data, From: c.id, Shared: true})
+		c.sys.Bus.SendData(t.Src, t.ID, t.Line, &l.Data, c.id, true)
 		if l.State == cache.Modified || l.State == cache.Exclusive {
 			l.State = cache.Owned
 		}
 	case bus.GetX:
-		c.sys.Bus.Send(t.Src, bus.DataResp{Req: t.ID, Line: t.Line, Data: l.Data, From: c.id})
+		c.sys.Bus.SendData(t.Src, t.ID, t.Line, &l.Data, c.id, false)
 		c.invalidateLocal(l, t.Line)
 	case bus.Upgrade:
 		// Requester holds a valid shared copy; our owned copy dies.
@@ -400,12 +400,12 @@ func (c *Controller) supplyFromWBPending(t *bus.Txn, d memsys.LineData) {
 	case bus.GetS:
 		// The reader gets a copy; the write-back stays in flight and memory
 		// will absorb it, making the data architecturally home.
-		c.sys.Bus.Send(t.Src, bus.DataResp{Req: t.ID, Line: t.Line, Data: d, From: c.id, Shared: false})
+		c.sys.Bus.SendData(t.Src, t.ID, t.Line, &d, c.id, false)
 	case bus.GetX:
 		// Ownership transfers to the requester: stop supplying and cancel
 		// the in-flight write-back so its stale payload cannot clobber the
 		// new owner's future one at memory.
-		c.sys.Bus.Send(t.Src, bus.DataResp{Req: t.ID, Line: t.Line, Data: d, From: c.id})
+		c.sys.Bus.SendData(t.Src, t.ID, t.Line, &d, c.id, false)
 		delete(c.wbPending, t.Line)
 		c.wbSuperseded[t.Line] = true
 	}
@@ -415,8 +415,8 @@ func (c *Controller) supplyFromWBPending(t *bus.Txn, d memsys.LineData) {
 // queues it until the marker identifying our upstream neighbour arrives.
 func (c *Controller) probeUpstream(m *mshr, ts stamp.Stamp) {
 	if m.hasUpstream {
-		c.sys.Trace(c.id, trace.ProbeSent, m.line, ts.String())
-		c.sys.Bus.Send(m.upstream, bus.Probe{Line: m.line, Stamp: ts, From: c.id})
+		c.sys.TraceStamp(c.id, trace.ProbeSent, m.line, ts)
+		c.sys.Bus.SendProbe(m.upstream, m.line, ts, c.id)
 		return
 	}
 	m.pendingProbes = append(m.pendingProbes, ts)
@@ -429,23 +429,23 @@ func (c *Controller) probeUpstream(m *mshr, ts stamp.Stamp) {
 // Deliver handles data responses, markers, and probes.
 func (c *Controller) Deliver(msg bus.Msg) {
 	switch v := msg.(type) {
-	case bus.DataResp:
+	case *bus.DataResp:
 		c.deliverData(v)
-	case bus.Marker:
+	case *bus.Marker:
 		if m, ok := c.mshrs[v.Line]; ok {
 			m.upstream = v.From
 			m.hasUpstream = true
 			for _, ts := range m.pendingProbes {
-				c.sys.Bus.Send(m.upstream, bus.Probe{Line: m.line, Stamp: ts, From: c.id})
+				c.sys.Bus.SendProbe(m.upstream, m.line, ts, c.id)
 			}
 			m.pendingProbes = nil
 		}
-	case bus.Probe:
+	case *bus.Probe:
 		c.deliverProbe(v)
 	}
 }
 
-func (c *Controller) deliverProbe(p bus.Probe) {
+func (c *Controller) deliverProbe(p *bus.Probe) {
 	// Still pending ourselves: pass it further upstream.
 	if m, ok := c.mshrs[p.Line]; ok && m.ordered {
 		c.probeUpstream(m, p.Stamp)
@@ -459,12 +459,12 @@ func (c *Controller) deliverProbe(p bus.Probe) {
 	}
 	if c.eng.StampBefore(p.Stamp, c.eng.Stamp()) {
 		c.eng.ObserveConflict(p.Stamp, p.Line)
-		c.sys.Trace(c.id, trace.ProbeLost, p.Line, p.Stamp.String())
+		c.sys.TraceStamp(c.id, trace.ProbeLost, p.Line, p.Stamp)
 		c.AbortTxn(core.ReasonProbe)
 	}
 }
 
-func (c *Controller) deliverData(r bus.DataResp) {
+func (c *Controller) deliverData(r *bus.DataResp) {
 	if m, ok := c.draining[r.Req]; ok {
 		c.finishDraining(m, r)
 		return
@@ -508,9 +508,9 @@ func (c *Controller) deliverData(r bus.DataResp) {
 		c.handleEviction(ev)
 	}
 	if spec {
-		frame.SpecRead = true
+		c.cache.MarkSpecRead(frame)
 		if m.specWrite {
-			frame.SpecWritten = true
+			c.cache.MarkSpecWritten(frame)
 		}
 	}
 
@@ -520,7 +520,7 @@ func (c *Controller) deliverData(r bus.DataResp) {
 // finishDraining delivers a forward-only fill: the value was ordered before
 // the invalidating writer, so the waiters that attached before the
 // invalidation legally observe it, but the line is not cached.
-func (c *Controller) finishDraining(m *mshr, r bus.DataResp) {
+func (c *Controller) finishDraining(m *mshr, r *bus.DataResp) {
 	line := m.line
 	delete(c.draining, m.txnID)
 	c.sys.Bus.Complete()
@@ -550,9 +550,9 @@ func (c *Controller) finishDraining(m *mshr, r bus.DataResp) {
 func (c *Controller) finishMSHR(m *mshr, frame *cache.Line) {
 	line := m.line
 	if m.spec && c.eng.Speculating() && !c.eng.Aborted() && frame != nil {
-		frame.SpecRead = true
+		c.cache.MarkSpecRead(frame)
 		if m.specWrite {
-			frame.SpecWritten = true
+			c.cache.MarkSpecWritten(frame)
 		}
 	}
 
@@ -622,7 +622,7 @@ func (c *Controller) serviceChain(line memsys.Addr, chain []chainEntry) {
 			}
 			if dec == core.Defer {
 				c.eng.PushDeferred(core.Deferred{Line: line, Stamp: t.Stamp, Payload: t})
-				c.sys.Trace(c.id, trace.Deferral, line, t.Stamp.String())
+				c.sys.TraceStamp(c.id, trace.Deferral, line, t.Stamp)
 				if t.Kind != bus.GetS {
 					l.Masked = true
 				}
@@ -710,7 +710,7 @@ func (c *Controller) checkCommit() {
 // services the deferred queue in order (Figure 3 step 4).
 func (c *Controller) doCommit() {
 	if c.sys.Check != nil {
-		c.sys.Check.CommitTxn(c.id, c.specReads, c.wb.Snapshot())
+		c.sys.Check.CommitTxn(c.id, c.specReads, c.wb.Words())
 	}
 	clear(c.specReads)
 	for _, line := range c.wb.Lines() {
@@ -770,16 +770,16 @@ func (c *Controller) Deschedule() {
 // committed) data.
 func (c *Controller) serveDeferred(d core.Deferred) {
 	t := d.Payload.(*bus.Txn)
-	c.sys.Trace(c.id, trace.DeferService, d.Line, d.Stamp.String())
+	c.sys.TraceStamp(c.id, trace.DeferService, d.Line, d.Stamp)
 	l := c.mustProbe(d.Line)
 	switch t.Kind {
 	case bus.GetS:
-		c.sys.Bus.Send(t.Src, bus.DataResp{Req: t.ID, Line: d.Line, Data: l.Data, From: c.id, Shared: true})
+		c.sys.Bus.SendData(t.Src, t.ID, d.Line, &l.Data, c.id, true)
 		if l.State == cache.Modified || l.State == cache.Exclusive {
 			l.State = cache.Owned
 		}
 	default: // GetX (Upgrade cannot be deferred)
-		c.sys.Bus.Send(t.Src, bus.DataResp{Req: t.ID, Line: d.Line, Data: l.Data, From: c.id})
+		c.sys.Bus.SendData(t.Src, t.ID, d.Line, &l.Data, c.id, false)
 		c.cache.Invalidate(d.Line)
 		if c.linkValid && c.linkLine == d.Line {
 			c.linkValid = false

@@ -20,6 +20,7 @@ import (
 	"tlrsim/internal/core"
 	"tlrsim/internal/memsys"
 	"tlrsim/internal/sim"
+	"tlrsim/internal/stamp"
 	"tlrsim/internal/trace"
 )
 
@@ -69,6 +70,15 @@ func (s *System) AttachChecker(c *checker.Checker) {
 func (s *System) Trace(cpu int, kind trace.Kind, line memsys.Addr, info string) {
 	if s.Tracer != nil {
 		s.Tracer.Record(trace.Event{At: s.K.Now(), CPU: cpu, Kind: kind, Line: line, Info: info})
+	}
+}
+
+// TraceStamp records a protocol event annotated with a timestamp. The stamp
+// is formatted only when a tracer is attached: the snoop-path call sites are
+// hot, and the format would otherwise be paid on every conflict resolution.
+func (s *System) TraceStamp(cpu int, kind trace.Kind, line memsys.Addr, ts stamp.Stamp) {
+	if s.Tracer != nil {
+		s.Tracer.Record(trace.Event{At: s.K.Now(), CPU: cpu, Kind: kind, Line: line, Info: ts.String()})
 	}
 }
 

@@ -21,6 +21,12 @@ type Stats struct {
 	Finish    sim.Time
 }
 
+// maxInline caps the depth of the cache-hit fast path's inline op chaining,
+// bounding both host stack growth and the distance the machine can run
+// between returns to the top-level event loop (where the livelock guard is
+// checked).
+const maxInline = 256
+
 // CPU drives one thread against the memory system.
 type CPU struct {
 	id   int
@@ -35,10 +41,25 @@ type CPU struct {
 	done   bool
 	finish sim.Time
 
-	seq         uint64
-	opActive    bool
-	opStart     sim.Time
-	curComplete func(result)
+	seq      uint64
+	opActive bool
+	opStart  sim.Time
+
+	// curOp is the operation in flight (valid while opActive); completion
+	// paths read it for accounting instead of capturing it in a closure.
+	curOp op
+
+	// pendingOp holds an operation waiting for its issue (or stall-resume)
+	// event. At most one such event is outstanding per CPU: the thread is
+	// blocked until the op completes, and no completion can be pending while
+	// an issue is.
+	pendingOp op
+
+	// leadOp holds the real operation carried behind a folded compute span
+	// (op.lead); consumed by leadDoneEvent, guarded by seq staleness.
+	leadOp op
+
+	inlineDepth int
 
 	// pendingFallback forces the next Critical attempt on this CPU to
 	// acquire the lock (set after resource-class misspeculations and SLE's
@@ -98,13 +119,26 @@ func (cpu *CPU) start(prog func(*TC)) {
 	go func() {
 		defer close(tc.ops)
 		prog(tc)
+		tc.flushCompute()
 	}()
-	cpu.m.K.At(cpu.m.K.Now(), func() { cpu.fetchNext() })
+	cpu.m.K.AtCall(cpu.m.K.Now(), firstFetchEvent, cpu, nil, 0)
+}
+
+func firstFetchEvent(recv, _ any, _ uint64) {
+	recv.(*CPU).fetchNext(true)
+}
+
+// issueEvent starts the op parked in pendingOp (the one-cycle issue stage,
+// or a stall-quantum resume).
+func issueEvent(recv, _ any, _ uint64) {
+	cpu := recv.(*CPU)
+	cpu.startOp(cpu.pendingOp)
 }
 
 // fetchNext blocks (host-side) until the thread yields its next operation;
-// the thread is guaranteed to either send or finish.
-func (cpu *CPU) fetchNext() {
+// the thread is guaranteed to either send or finish. inlineOK marks calls
+// made at an event tail, where the issue event may be run inline.
+func (cpu *CPU) fetchNext(inlineOK bool) {
 	o, ok := <-cpu.tc.ops
 	if !ok {
 		cpu.done = true
@@ -113,40 +147,48 @@ func (cpu *CPU) fetchNext() {
 		return
 	}
 	cpu.stats.Ops++
-	// One-cycle issue cost for every operation.
-	cpu.m.K.After(1, func() { cpu.startOp(o) })
+	cpu.issueOp(o, inlineOK)
+}
+
+// issueOp runs o through the one-cycle issue stage. When the issue event
+// would be the very next event to fire anyway, the queue round-trip is
+// skipped entirely (sim.Kernel.TryAdvance) and the op starts inline —
+// identical simulated time, identical ordering, no heap traffic.
+func (cpu *CPU) issueOp(o op, inlineOK bool) {
+	k := cpu.m.K
+	if inlineOK && cpu.inlineDepth < maxInline && k.TryAdvance(k.Now()+1) {
+		cpu.inlineDepth++
+		cpu.startOp(o)
+		cpu.inlineDepth--
+		return
+	}
+	cpu.pendingOp = o
+	k.AfterCall(1, issueEvent, cpu, nil, 0)
 }
 
 func (cpu *CPU) startOp(o op) {
 	if now := cpu.m.K.Now(); now < cpu.stalledUntil {
 		// Descheduled: resume the operation when the quantum ends.
-		cpu.m.K.At(cpu.stalledUntil, func() { cpu.startOp(o) })
+		cpu.pendingOp = o
+		cpu.m.K.AtCall(cpu.stalledUntil, issueEvent, cpu, nil, 0)
+		return
+	}
+	if o.lead > 0 {
+		cpu.startLead(o)
 		return
 	}
 	cpu.lastOp = o.kind
 	cpu.seq++
-	seq := cpu.seq
 	cpu.opActive = true
 	cpu.opStart = cpu.m.K.Now()
-	complete := func(r result) {
-		if cpu.seq != seq || !cpu.opActive {
-			return // stale completion (op already finished, e.g. by abort)
-		}
-		cpu.opActive = false
-		cpu.curComplete = nil
-		cpu.account(o, uint64(cpu.m.K.Now()-cpu.opStart))
-		cpu.tc.res <- r
-		cpu.fetchNext()
-	}
-	alive := func() bool { return cpu.seq == seq && cpu.opActive }
-	cpu.curComplete = complete
+	cpu.curOp = o
 
 	// A squashed transaction's thread may issue a few more operations while
 	// it unwinds to the restart point (the abort flag is only observable at
 	// operation boundaries). None of them may touch machine state — a store
 	// here would pollute the write buffer of the NEXT transaction attempt.
 	if cpu.eng.Aborted() && o.kind != opTxBegin {
-		complete(result{aborted: true})
+		cpu.finishOp(result{aborted: true})
 		return
 	}
 
@@ -157,68 +199,159 @@ func (cpu *CPU) startOp(o op) {
 			wantExcl = cpu.rmw.PredictExclusive(o.site)
 			cpu.rmw.NoteLoad(o.site, o.addr)
 		}
-		cpu.ctrl.Load(o.addr, wantExcl, func(v uint64, ok bool) {
-			complete(result{val: v, aborted: !ok})
+		if v, hit := cpu.ctrl.LoadHit(o.addr, wantExcl); hit {
+			cpu.finishOp(result{val: v})
+			return
+		}
+		seq := cpu.seq
+		cpu.ctrl.LoadMiss(o.addr, wantExcl, func(v uint64, ok bool) {
+			cpu.completeOp(seq, result{val: v, aborted: !ok})
 		})
 	case opStore:
 		if cpu.useRMW() && cpu.eng.Depth() > 0 {
 			cpu.rmw.NoteStore(o.addr)
 		}
-		cpu.ctrl.Store(o.addr, o.val, func(_ uint64, ok bool) {
-			complete(result{aborted: !ok})
-		})
+		switch cpu.ctrl.StoreFast(o.addr, o.val) {
+		case coherence.StoreDone:
+			cpu.finishOp(result{})
+		case coherence.StoreAborted:
+			// onAbort already squashed the op.
+		default:
+			seq := cpu.seq
+			cpu.ctrl.Store(o.addr, o.val, func(_ uint64, ok bool) {
+				cpu.completeOp(seq, result{aborted: !ok})
+			})
+		}
 	case opLL:
+		seq := cpu.seq
 		cpu.ctrl.LL(o.addr, func(v uint64, ok bool) {
-			complete(result{val: v, aborted: !ok})
+			cpu.completeOp(seq, result{val: v, aborted: !ok})
 		})
 	case opSC:
+		seq := cpu.seq
 		cpu.ctrl.SC(o.addr, o.val, func(v uint64, ok bool) {
-			complete(result{val: v, aborted: !ok})
+			cpu.completeOp(seq, result{val: v, aborted: !ok})
 		})
 	case opSwap:
+		seq := cpu.seq
 		cpu.ctrl.Swap(o.addr, o.val, func(v uint64, ok bool) {
-			complete(result{val: v, aborted: !ok})
+			cpu.completeOp(seq, result{val: v, aborted: !ok})
 		})
 	case opCAS:
+		seq := cpu.seq
 		cpu.ctrl.CAS(o.addr, o.old, o.val, func(v uint64, ok bool) {
-			complete(result{val: v, aborted: !ok})
+			cpu.completeOp(seq, result{val: v, aborted: !ok})
 		})
 	case opFetchAdd:
+		seq := cpu.seq
 		cpu.ctrl.FetchAdd(o.addr, o.val, func(v uint64, ok bool) {
-			complete(result{val: v, aborted: !ok})
+			cpu.completeOp(seq, result{val: v, aborted: !ok})
 		})
 	case opSpin:
-		cpu.spin(o, complete, alive)
+		cpu.spin(o, cpu.seq)
 	case opCompute:
-		cpu.m.K.After(o.n, func() { complete(result{}) })
+		cpu.m.K.AfterCall(o.n, computeDoneEvent, cpu, nil, cpu.seq)
 	case opTxBegin:
+		seq := cpu.seq
+		complete := func(r result) { cpu.completeOp(seq, r) }
+		alive := func() bool { return cpu.seq == seq && cpu.opActive }
 		cpu.txBegin(o, complete, alive)
 	case opTxEnd:
-		cpu.txEnd(o, complete)
+		seq := cpu.seq
+		cpu.txEnd(o, func(r result) { cpu.completeOp(seq, r) })
 	case opCSEnter:
-		complete(result{ok: true})
+		cpu.finishOp(result{ok: true})
 	case opCSExit:
 		cpu.eng.ExitCritical(false)
 		if cpu.eng.Depth() == 0 {
 			cpu.rmw.EndSection()
 			cpu.eng.ResetAttempt()
 		}
-		complete(result{ok: true})
+		cpu.finishOp(result{ok: true})
 	case opUnelidable:
 		if cpu.eng.Speculating() {
 			cpu.ctrl.AbortTxn(core.ReasonResource)
 			// onAbort completed the op; nothing more to do.
 			return
 		}
-		complete(result{ok: true})
+		cpu.finishOp(result{ok: true})
 	}
+}
+
+// startLead runs the pure-compute span folded into o (op batching: the span
+// never crossed the thread channel). It behaves exactly like the opCompute
+// the thread would have issued — same events, same accounting, same abort
+// semantics — then re-issues the carried operation through the normal issue
+// stage.
+func (cpu *CPU) startLead(o op) {
+	cpu.lastOp = opCompute
+	cpu.seq++
+	cpu.opActive = true
+	cpu.opStart = cpu.m.K.Now()
+	cpu.curOp = op{kind: opCompute, n: o.lead}
+	if cpu.eng.Aborted() {
+		// The span is part of the squashed region: discard it and fail the
+		// carried op, exactly as the unbatched compute op would have.
+		cpu.finishOp(result{aborted: true})
+		return
+	}
+	cpu.leadOp = o
+	cpu.m.K.AfterCall(o.lead, leadDoneEvent, cpu, nil, cpu.seq)
+}
+
+// leadDoneEvent retires a folded compute span as the compute op it stands
+// for, then issues the carried operation.
+func leadDoneEvent(recv, _ any, seq uint64) {
+	cpu := recv.(*CPU)
+	if cpu.seq != seq || !cpu.opActive {
+		return // the span was squashed by an abort
+	}
+	cpu.opActive = false
+	cpu.account(cpu.curOp, uint64(cpu.m.K.Now()-cpu.opStart))
+	cpu.stats.Ops++
+	o := cpu.leadOp
+	o.lead = 0
+	cpu.issueOp(o, true)
+}
+
+// computeDoneEvent completes an explicit opCompute.
+func computeDoneEvent(recv, _ any, seq uint64) {
+	cpu := recv.(*CPU)
+	if cpu.seq != seq || !cpu.opActive {
+		return
+	}
+	cpu.finishOp(result{})
+}
+
+// finishOp completes the current op synchronously at the tail of its issue
+// event: the result is delivered and the next op may start inline. Callers
+// must be at an event tail (nothing else left to run in the current event).
+func (cpu *CPU) finishOp(r result) {
+	cpu.opActive = false
+	cpu.account(cpu.curOp, uint64(cpu.m.K.Now()-cpu.opStart))
+	cpu.tc.res <- r
+	cpu.fetchNext(true)
+}
+
+// completeOp completes op seq from an arbitrary (possibly deep) kernel
+// context — a fill waiter, an abort, a commit callback. Stale completions
+// are dropped; the next op goes through the event queue, preserving the
+// ordering the non-tail context requires.
+func (cpu *CPU) completeOp(seq uint64, r result) {
+	if cpu.seq != seq || !cpu.opActive {
+		return // stale completion (op already finished, e.g. by abort)
+	}
+	cpu.opActive = false
+	cpu.account(cpu.curOp, uint64(cpu.m.K.Now()-cpu.opStart))
+	cpu.tc.res <- r
+	cpu.fetchNext(false)
 }
 
 // onAbort squashes whatever operation the thread is blocked on so it can
 // unwind to the restart point.
 func (cpu *CPU) onAbort(core.Reason) {
-	if cpu.opActive && cpu.curComplete != nil {
-		cpu.curComplete(result{aborted: true})
+	if cpu.opActive {
+		cpu.completeOp(cpu.seq, result{aborted: true})
 	}
 }
 
@@ -226,7 +359,8 @@ func (cpu *CPU) useRMW() bool { return cpu.m.cfg.UseRMWPredictor }
 
 // spin implements the test&test&set-style local spin: re-check only when
 // the line's visibility changes.
-func (cpu *CPU) spin(o op, complete func(result), alive func() bool) {
+func (cpu *CPU) spin(o op, seq uint64) {
+	alive := func() bool { return cpu.seq == seq && cpu.opActive }
 	var try func()
 	try = func() {
 		if !alive() {
@@ -237,11 +371,11 @@ func (cpu *CPU) spin(o op, complete func(result), alive func() bool) {
 				return
 			}
 			if !ok {
-				complete(result{aborted: true})
+				cpu.completeOp(seq, result{aborted: true})
 				return
 			}
 			if o.pred(v) {
-				complete(result{val: v})
+				cpu.completeOp(seq, result{val: v})
 				return
 			}
 			cpu.ctrl.SubscribeLine(o.addr, func() {

@@ -38,8 +38,13 @@ type op struct {
 	// frames is the thread's elided-frame depth when a TxBegin is issued:
 	// zero identifies the restart point that may acknowledge an abort.
 	frames int
-	pred   func(uint64) bool
-	lock   *Lock
+	// lead is a folded pure-compute span (cycles) the thread ran before this
+	// operation: Compute spans don't cross the channel themselves, they ride
+	// on the next real operation and the CPU replays them as the compute op
+	// they stand for.
+	lead uint64
+	pred func(uint64) bool
+	lock *Lock
 }
 
 // CritMode tells the thread runtime how the CPU decided to execute a
@@ -78,6 +83,11 @@ type TC struct {
 	res        chan result
 	specFrames int
 	rng        *rand.Rand
+
+	// pendingCompute accumulates the latest Compute span until the next
+	// operation carries it to the CPU (as op.lead), saving the two goroutine
+	// context switches a dedicated compute op would cost.
+	pendingCompute uint64
 }
 
 var _ locks.Ops = (*TC)(nil)
@@ -92,7 +102,10 @@ func newTC(cpu *CPU) *TC {
 }
 
 // do issues one operation and blocks the thread until the CPU completes it.
+// Any pending compute span rides along as the operation's lead.
 func (tc *TC) do(o op) result {
+	o.lead = tc.pendingCompute
+	tc.pendingCompute = 0
 	tc.ops <- o
 	return <-tc.res
 }
@@ -157,12 +170,32 @@ func (tc *TC) SpinUntil(a memsys.Addr, pred func(uint64) bool) uint64 {
 	return tc.mem(op{kind: opSpin, addr: a, pred: pred})
 }
 
-// Compute models n cycles of local computation.
+// Compute models n cycles of local computation. The span is batched: it is
+// carried to the CPU by the next real operation instead of crossing the
+// thread channel itself. Back-to-back spans flush the previous one as an
+// explicit compute op, preserving the unbatched machine's exact timing.
 func (tc *TC) Compute(n uint64) {
 	if n == 0 {
 		return
 	}
-	tc.mem(op{kind: opCompute, n: n})
+	if tc.pendingCompute > 0 {
+		tc.flushCompute()
+	}
+	tc.pendingCompute = n
+}
+
+// flushCompute issues any pending compute span as an explicit op (program
+// end, or a second span queued behind an unsent first).
+func (tc *TC) flushCompute() {
+	n := tc.pendingCompute
+	tc.pendingCompute = 0
+	if n == 0 {
+		return
+	}
+	r := tc.do(op{kind: opCompute, n: n})
+	if r.aborted {
+		panic(abortSignal{})
+	}
 }
 
 // Unelidable marks an operation that cannot be undone (I/O, §2.2 step 3):

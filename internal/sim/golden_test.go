@@ -1,0 +1,73 @@
+package sim
+
+// Golden event-sequence gate: a deterministic storm of events — duplicate
+// times, events scheduled from inside firing events (including at the
+// current cycle), and interleaved After/At calls — must fire in exactly the
+// order the pre-rewrite container/heap kernel fired them. The golden encodes
+// the (time, schedule-sequence) total order the rest of the simulator
+// depends on; a heap rewrite that perturbs tie-breaking fails here first.
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-goldens", false, "rewrite testdata goldens")
+
+func TestGoldenEventSequence(t *testing.T) {
+	k := New(7)
+	rng := rand.New(rand.NewSource(99))
+	var log strings.Builder
+	nextID := 0
+
+	var fire func(id int) func()
+	fire = func(id int) func() {
+		return func() {
+			fmt.Fprintf(&log, "t=%d id=%d\n", k.Now(), id)
+			// Some events spawn followers, possibly at the current cycle.
+			for n := rng.Intn(3); n > 0 && nextID < 600; n-- {
+				d := uint64(rng.Intn(4)) // 0 = same cycle as the firing event
+				id := nextID
+				nextID++
+				k.After(d, fire(id))
+			}
+		}
+	}
+
+	for i := 0; i < 64; i++ {
+		id := nextID
+		nextID++
+		k.At(Time(rng.Intn(32)), fire(id))
+	}
+	k.Run()
+
+	got := log.String()
+	golden := filepath.Join("testdata", "event_sequence.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update-goldens to create): %v", err)
+	}
+	if got != string(want) {
+		gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+		for i := range gl {
+			if i >= len(wl) || gl[i] != wl[i] {
+				t.Fatalf("event order diverges from golden at line %d: got %q", i+1, gl[i])
+			}
+		}
+		t.Fatalf("event order diverges from golden (got %d lines, want %d)", len(gl), len(wl))
+	}
+}

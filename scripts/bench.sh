@@ -1,0 +1,33 @@
+#!/bin/sh
+# Run the benchmark suite (-benchtime=1x -count=3) and write the parsed
+# results as JSON, tracking the repo's performance trajectory across PRs.
+#
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_<n>.json argument
+# is expected from the caller; with no argument, BENCH.json)
+#
+# The JSON records, per benchmark line: name, iterations, ns/op, and any
+# extra testing.ReportMetric values (simcycles, ns/simcycle, allocs/op...).
+set -e
+cd "$(dirname "$0")/.."
+out="${1:-BENCH.json}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+go test -run '^$' -bench . -benchtime=1x -count=3 ./... | tee "$raw" >&2
+
+awk -v go_version="$(go env GOVERSION)" '
+BEGIN { print "{"; printf "  \"go\": \"%s\",\n", go_version; print "  \"bench\": ["; first = 1 }
+/^Benchmark/ {
+    if (!first) printf ",\n"
+    first = 0
+    printf "    {\"name\": \"%s\", \"iterations\": %s", $1, $2
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/[\/]/, "_per_", unit)
+        printf ", \"%s\": %s", unit, $i
+    }
+    printf "}"
+}
+END { print "\n  ]"; print "}" }
+' "$raw" > "$out"
+echo "wrote $out" >&2

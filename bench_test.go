@@ -221,3 +221,36 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(total), "ns/simcycle")
 	}
 }
+
+// BenchmarkSimulatorThroughputObservability measures what the observability
+// subsystem costs: the same contended workload with instruments off (the
+// default every experiment runs with — this variant is the standing guard
+// that disabled observability stays free) and with the full instrument set
+// attached (counters, histograms, per-lock profiles, samplers). The
+// off-vs-on ns/simcycle ratio is the tracing overhead BENCH_<n>.json tracks.
+func BenchmarkSimulatorThroughputObservability(b *testing.B) {
+	for _, metrics := range []bool{false, true} {
+		metrics := metrics
+		name := "off"
+		if metrics {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var total uint64
+			for i := 0; i < b.N; i++ {
+				cfg := tlrsim.DefaultConfig(8, tlrsim.TLR)
+				cfg.EnableMetrics = metrics
+				m, err := tlrsim.RunWorkload(cfg, tlrsim.Benchmarks.SingleCounter(512))
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += uint64(m.Cycles())
+			}
+			b.ReportMetric(float64(total)/float64(b.N), "simcycles")
+			if total > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(total), "ns/simcycle")
+			}
+		})
+	}
+}

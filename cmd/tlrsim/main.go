@@ -7,6 +7,7 @@
 //	tlrsim -experiment fig9
 //	tlrsim -experiment fig11 -ops 2 -procs 16
 //	tlrsim -experiment all -jobs 8 -v
+//	tlrsim -experiment fig9 -metrics metrics.txt
 //
 // Experiments: table1, table2, fig8, fig9, fig10, fig11, coarse, rmw,
 // nack, queue, victim, penalty, storebuf, all.
@@ -15,11 +16,18 @@
 // executes up to N of them concurrently on host cores (default
 // runtime.GOMAXPROCS(0)); output is byte-identical at any -jobs level,
 // and -jobs 1 runs strictly sequentially.
+//
+// -metrics FILE attaches the observability instrument set to every
+// simulated machine and writes each run's dump — counters, cycle
+// histograms, per-lock contention profiles, time-series samples — to FILE,
+// grouped per experiment. The instruments never alter simulation results;
+// the primary report is byte-identical with and without -metrics.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -30,31 +38,43 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tlrsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tlrsim", flag.ContinueOnError)
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run: table1, table2, fig8, fig9, fig10, fig11, coarse, rmw, nack, queue, victim, penalty, storebuf, all")
-		ops        = flag.Float64("ops", 1.0, "operation-count scale factor (1.0 = harness defaults; raise toward paper scale)")
-		seed       = flag.Int64("seed", 2002, "random seed (runs are deterministic per seed)")
-		procsFlag  = flag.String("procs", "2,4,8,16", "comma-separated processor counts for figure sweeps")
-		appProcs   = flag.Int("app-procs", 16, "processor count for the application study (figure 11)")
-		format     = flag.String("format", "table", "output format: table or csv")
-		jobs       = flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = sequential; results are identical at any value)")
-		verbose    = flag.Bool("v", false, "print per-job completion lines on stderr")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
-		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
+		experiment = fs.String("experiment", "all", "experiment to run: table1, table2, fig8, fig9, fig10, fig11, coarse, rmw, nack, queue, victim, penalty, storebuf, all")
+		ops        = fs.Float64("ops", 1.0, "operation-count scale factor (1.0 = harness defaults; raise toward paper scale)")
+		seed       = fs.Int64("seed", 2002, "random seed (runs are deterministic per seed)")
+		procsFlag  = fs.String("procs", "2,4,8,16", "comma-separated processor counts for figure sweeps")
+		appProcs   = fs.Int("app-procs", 16, "processor count for the application study (figure 11)")
+		format     = fs.String("format", "table", "output format: table or csv")
+		jobs       = fs.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = sequential; results are identical at any value)")
+		verbose    = fs.Bool("v", false, "print per-job completion lines on stderr")
+		metricsOut = fs.String("metrics", "", "attach observability instruments and write per-run dumps to this file")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
+		memprofile = fs.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
-	flag.Parse()
-	asCSV = *format == "csv"
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	asCSV := *format == "csv"
 	if *jobs < 1 {
-		fatalf("-jobs must be >= 1")
+		return fmt.Errorf("-jobs must be >= 1")
 	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fatalf("-cpuprofile: %v", err)
+			return fmt.Errorf("-cpuprofile: %v", err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fatalf("-cpuprofile: %v", err)
+			f.Close()
+			return fmt.Errorf("-cpuprofile: %v", err)
 		}
 		defer func() {
 			pprof.StopCPUProfile()
@@ -65,14 +85,25 @@ func main() {
 		defer func() {
 			f, err := os.Create(*memprofile)
 			if err != nil {
-				fatalf("-memprofile: %v", err)
+				fmt.Fprintf(os.Stderr, "tlrsim: -memprofile: %v\n", err)
+				return
 			}
 			defer f.Close()
 			runtime.GC() // materialize up-to-date allocation stats
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fatalf("-memprofile: %v", err)
+				fmt.Fprintf(os.Stderr, "tlrsim: -memprofile: %v\n", err)
 			}
 		}()
+	}
+
+	var metricsFile *os.File
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			return fmt.Errorf("-metrics: %v", err)
+		}
+		defer f.Close()
+		metricsFile = f
 	}
 
 	o := tlrsim.DefaultExperimentOptions()
@@ -80,6 +111,7 @@ func main() {
 	o.Seed = *seed
 	o.AppProcs = *appProcs
 	o.Jobs = *jobs
+	o.Metrics = metricsFile != nil
 	if *verbose {
 		o.Progress = func(done, total int, label string, run *tlrsim.Run) {
 			fmt.Fprintf(os.Stderr, "tlrsim: [%d/%d] %s: %d cycles\n", done, total, label, run.Cycles)
@@ -89,50 +121,81 @@ func main() {
 	for _, s := range strings.Split(*procsFlag, ",") {
 		p, err := strconv.Atoi(strings.TrimSpace(s))
 		if err != nil || p < 1 {
-			fatalf("bad -procs entry %q", s)
+			return fmt.Errorf("bad -procs entry %q", s)
 		}
 		o.Procs = append(o.Procs, p)
 	}
 
-	run := func(name string) {
+	dumpMetrics := func(name, dumps string) {
+		if metricsFile == nil || dumps == "" {
+			return
+		}
+		fmt.Fprintf(metricsFile, "# %s\n%s", name, dumps)
+	}
+	report := func(name string, r *tlrsim.ExperimentResult, err error) error {
+		if err != nil {
+			return err
+		}
+		if asCSV {
+			fmt.Fprint(stdout, r.CSV())
+		} else {
+			fmt.Fprintln(stdout, r.Report)
+		}
+		dumpMetrics(name, r.MetricsDumps())
+		return nil
+	}
+
+	runOne := func(name string) error {
 		switch name {
 		case "table1":
-			fmt.Println(tlrsim.Table1())
+			fmt.Fprintln(stdout, tlrsim.Table1())
 		case "table2":
-			fmt.Println(tlrsim.Table2())
+			fmt.Fprintln(stdout, tlrsim.Table2())
 		case "fig8":
-			report(tlrsim.Fig8(o))
+			r, err := tlrsim.Fig8(o)
+			return report(name, r, err)
 		case "fig9":
-			report(tlrsim.Fig9(o))
+			r, err := tlrsim.Fig9(o)
+			return report(name, r, err)
 		case "fig10":
-			report(tlrsim.Fig10(o))
+			r, err := tlrsim.Fig10(o)
+			return report(name, r, err)
 		case "fig11":
 			r, err := tlrsim.Fig11(o)
 			if err != nil {
-				fatalf("fig11: %v", err)
+				return fmt.Errorf("fig11: %v", err)
 			}
 			if asCSV {
-				fmt.Print(r.CSV())
+				fmt.Fprint(stdout, r.CSV())
 			} else {
-				fmt.Println(r.Report)
+				fmt.Fprintln(stdout, r.Report)
 			}
+			dumpMetrics(name, r.MetricsDumps())
 		case "coarse":
-			report(tlrsim.CoarseVsFine(o))
+			r, err := tlrsim.CoarseVsFine(o)
+			return report(name, r, err)
 		case "rmw":
-			report(tlrsim.RMWEffect(o))
+			r, err := tlrsim.RMWEffect(o)
+			return report(name, r, err)
 		case "nack":
-			report(tlrsim.NackVsDeferral(o))
+			r, err := tlrsim.NackVsDeferral(o)
+			return report(name, r, err)
 		case "queue":
-			report(tlrsim.DeferredQueueSweep(o))
+			r, err := tlrsim.DeferredQueueSweep(o)
+			return report(name, r, err)
 		case "victim":
-			report(tlrsim.VictimCacheSweep(o))
+			r, err := tlrsim.VictimCacheSweep(o)
+			return report(name, r, err)
 		case "penalty":
-			report(tlrsim.RestartPenaltySweep(o))
+			r, err := tlrsim.RestartPenaltySweep(o)
+			return report(name, r, err)
 		case "storebuf":
-			report(tlrsim.StoreBufferEffect(o))
+			r, err := tlrsim.StoreBufferEffect(o)
+			return report(name, r, err)
 		default:
-			fatalf("unknown experiment %q", name)
+			return fmt.Errorf("unknown experiment %q", name)
 		}
+		return nil
 	}
 
 	if *experiment == "all" {
@@ -140,32 +203,16 @@ func main() {
 			if asCSV {
 				// Thirteen otherwise-unlabelled blocks: mark which
 				// experiment each belongs to.
-				fmt.Printf("# %s\n", name)
+				fmt.Fprintf(stdout, "# %s\n", name)
 			}
 			if *verbose {
 				fmt.Fprintf(os.Stderr, "tlrsim: running %s\n", name)
 			}
-			run(name)
+			if err := runOne(name); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
-	run(*experiment)
-}
-
-var asCSV bool
-
-func report(r *tlrsim.ExperimentResult, err error) {
-	if err != nil {
-		fatalf("%v", err)
-	}
-	if asCSV {
-		fmt.Print(r.CSV())
-		return
-	}
-	fmt.Println(r.Report)
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "tlrsim: "+format+"\n", args...)
-	os.Exit(1)
+	return runOne(*experiment)
 }

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"experiment", []string{"-experiment", "nope"}, `unknown experiment "nope"`},
+		{"procs", []string{"-experiment", "fig8", "-procs", "2,x"}, `bad -procs entry "x"`},
+		{"jobs", []string{"-jobs", "0"}, "-jobs must be >= 1"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out bytes.Buffer
+			err := run(c.args, &out)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("got err %v, want containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestRunStaticTables(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "table2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Table 2: simulated machine parameters") {
+		t.Fatalf("missing table 2:\n%s", out.String())
+	}
+}
+
+func TestRunExperimentTableAndCSV(t *testing.T) {
+	args := []string{"-experiment", "fig8", "-ops", "0.05", "-procs", "2,4"}
+	var table bytes.Buffer
+	if err := run(args, &table); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table.String(), "Figure 8") {
+		t.Fatalf("missing report title:\n%s", table.String())
+	}
+	var csv bytes.Buffer
+	if err := run(append(args, "-format", "csv"), &csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "procs,") {
+		t.Fatalf("missing CSV header:\n%s", csv.String())
+	}
+}
+
+func TestRunMetricsFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.txt")
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "fig9", "-ops", "0.05", "-procs", "2", "-metrics", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{"# fig9", "counters:", "histograms:", "crit_cycles", "locks (hottest first):", "hold: count="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("metrics file missing %q:\n%s", want, s)
+		}
+	}
+	// The primary report must be byte-identical with and without -metrics.
+	var plain bytes.Buffer
+	if err := run([]string{"-experiment", "fig9", "-ops", "0.05", "-procs", "2"}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != out.String() {
+		t.Fatalf("-metrics changed the report:\n--- without ---\n%s--- with ---\n%s", plain.String(), out.String())
+	}
+}

@@ -8,56 +8,129 @@
 //
 //	tlrtrace -workload single-counter -scheme tlr -procs 4 -ops 64
 //	tlrtrace -workload linked-list -scheme sle -cpu 2      # one CPU only
+//	tlrtrace -format chrome -out trace.json                # load in Perfetto
+//	tlrtrace -format jsonl                                 # one event per line
+//
+// The chrome format is the Chrome trace-event JSON that chrome://tracing and
+// ui.perfetto.dev open directly: transactions render as spans on per-CPU
+// tracks, with flow arrows from each deferral to its eventual service. The
+// structured formats stream every event of the run (the -events ring bound
+// applies only to the text timeline).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"tlrsim"
+	"tlrsim/internal/trace"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tlrtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tlrtrace", flag.ContinueOnError)
 	var (
-		workload = flag.String("workload", "single-counter", "workload: single-counter, multiple-counter, linked-list, mp3d, mp3d-coarse, radiosity, read-heavy")
-		scheme   = flag.String("scheme", "tlr", "scheme: base, sle, tlr, tlr-strict, mcs")
-		procs    = flag.Int("procs", 4, "processor count")
-		ops      = flag.Int("ops", 64, "total operation count")
-		cpu      = flag.Int("cpu", -1, "filter the timeline to one CPU (-1 = all)")
-		capacity = flag.Int("events", 4096, "trace ring capacity (newest events kept)")
-		seed     = flag.Int64("seed", 2002, "random seed")
+		workload = fs.String("workload", "single-counter", "workload: single-counter, multiple-counter, linked-list, mp3d, mp3d-coarse, radiosity, read-heavy")
+		scheme   = fs.String("scheme", "tlr", "scheme: base, sle, tlr, tlr-strict, mcs")
+		procs    = fs.Int("procs", 4, "processor count")
+		ops      = fs.Int("ops", 64, "total operation count")
+		cpu      = fs.Int("cpu", -1, "filter the text timeline to one CPU (-1 = all)")
+		capacity = fs.Int("events", 4096, "trace ring capacity for the text timeline (newest events kept)")
+		seed     = fs.Int64("seed", 2002, "random seed")
+		format   = fs.String("format", "text", "output format: text, jsonl, or chrome (trace-event JSON for Perfetto)")
+		out      = fs.String("out", "", "write the trace to this file instead of stdout")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	s, err := parseScheme(*scheme)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	w, err := buildWorkload(*workload, *ops)
 	if err != nil {
-		fatal(err)
+		return err
+	}
+
+	dest := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dest = f
 	}
 
 	cfg := tlrsim.DefaultConfig(*procs, s)
 	cfg.Seed = *seed
 	cfg.TraceCapacity = *capacity
+
+	// The structured formats stream through a sink, so they see the whole
+	// run regardless of ring capacity.
+	var closeSink func() error
+	switch *format {
+	case "text":
+	case "jsonl":
+		jw := trace.NewJSONLWriter(dest)
+		cfg.TraceSink = jw
+		closeSink = jw.Close
+	case "chrome":
+		cw := trace.NewChromeWriter(dest)
+		cfg.TraceSink = cw
+		closeSink = cw.Close
+	default:
+		return fmt.Errorf("unknown format %q (want text, jsonl, or chrome)", *format)
+	}
+
 	m, err := tlrsim.RunWorkload(cfg, w)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-
-	fmt.Printf("%s under %s, %d processors, %d cycles\n\n", w.Name(), s, *procs, m.Cycles())
-	fmt.Print(m.Trace().Dump(*cpu))
+	if closeSink != nil {
+		if err := closeSink(); err != nil {
+			return err
+		}
+	}
 
 	r := tlrsim.Collect(m)
-	fmt.Printf("\ncommits=%d aborts=%d deferrals=%d fallbacks=%d markers=%d probes=%d\n",
-		r.Commits, r.Aborts, r.Deferrals, r.Fallbacks, r.Markers, r.Probes)
-	if total := m.Trace().Total(); total > uint64(*capacity) {
-		fmt.Printf("(%d events recorded; showing the newest %d — raise -events for more)\n",
-			total, *capacity)
+	summary := func(w io.Writer) {
+		fmt.Fprintf(w, "commits=%d aborts=%d deferrals=%d fallbacks=%d markers=%d probes=%d\n",
+			r.Commits, r.Aborts, r.Deferrals, r.Fallbacks, r.Markers, r.Probes)
 	}
+
+	if *format != "text" {
+		// Keep a sink-format stream pure: the summary goes to stdout only
+		// when the trace itself went to a file.
+		if *out != "" {
+			fmt.Fprintf(stdout, "%s under %s, %d processors, %d cycles\n", w.Name(), s, *procs, m.Cycles())
+			summary(stdout)
+			fmt.Fprintf(stdout, "trace written to %s (%d events)\n", *out, m.Trace().Total())
+		}
+		return nil
+	}
+
+	fmt.Fprintf(dest, "%s under %s, %d processors, %d cycles\n\n", w.Name(), s, *procs, m.Cycles())
+	fmt.Fprint(dest, m.Trace().Dump(*cpu))
+	fmt.Fprintln(dest)
+	summary(dest)
+	// The ring clamps non-positive capacities, so compare against what the
+	// tracer actually retained, not the raw flag value.
+	if total, kept := m.Trace().Total(), m.Trace().Capacity(); total > uint64(kept) {
+		fmt.Fprintf(dest, "(%d events recorded; showing the newest %d — raise -events for more)\n",
+			total, kept)
+	}
+	return nil
 }
 
 func parseScheme(s string) (tlrsim.Scheme, error) {
@@ -94,9 +167,4 @@ func buildWorkload(name string, ops int) (tlrsim.Workload, error) {
 		return tlrsim.Benchmarks.ReadHeavy(ops), nil
 	}
 	return nil, fmt.Errorf("unknown workload %q", name)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tlrtrace:", err)
-	os.Exit(1)
 }

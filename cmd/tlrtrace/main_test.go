@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"scheme", []string{"-scheme", "nope"}, `unknown scheme "nope"`},
+		{"workload", []string{"-workload", "nope"}, `unknown workload "nope"`},
+		{"format", []string{"-format", "nope"}, `unknown format "nope"`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out bytes.Buffer
+			err := run(c.args, &out)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("got err %v, want containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestRunTextTimeline(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-workload", "single-counter", "-scheme", "tlr", "-procs", "2", "-ops", "16"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "single-counter under BASE+SLE+TLR, 2 processors") {
+		t.Fatalf("missing header:\n%s", s)
+	}
+	if !strings.Contains(s, "txn-begin") || !strings.Contains(s, "commits=") {
+		t.Fatalf("missing timeline or summary:\n%s", s)
+	}
+}
+
+func TestRunTextCPUFilter(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-procs", "2", "-ops", "16", "-cpu", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(out.String(), "\n") {
+		if strings.HasPrefix(line, "t=") && !strings.Contains(line, "P1 ") {
+			t.Fatalf("unfiltered timeline line: %q", line)
+		}
+	}
+}
+
+func TestRunTextTruncationNoticeUsesActualCapacity(t *testing.T) {
+	// -events 0 is clamped to a 4096-event ring by the tracer; the notice
+	// must compare against that, not the raw flag, so a short run prints
+	// no notice at all.
+	var out bytes.Buffer
+	if err := run([]string{"-procs", "2", "-ops", "8", "-events", "0"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "events recorded; showing") {
+		t.Fatalf("spurious truncation notice:\n%s", out.String())
+	}
+	// A 16-event ring on the same run genuinely truncates.
+	out.Reset()
+	if err := run([]string{"-procs", "2", "-ops", "8", "-events", "16"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "showing the newest 16") {
+		t.Fatalf("missing truncation notice:\n%s", out.String())
+	}
+}
+
+func TestRunJSONLStdout(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-procs", "2", "-ops", "16", "-format", "jsonl"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no JSONL output")
+	}
+	for i, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d not JSON: %v: %q", i, err, line)
+		}
+	}
+}
+
+func TestRunChromeStdoutIsValidTraceJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-procs", "2", "-ops", "16", "-format", "chrome"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("stdout is not valid Chrome trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty traceEvents")
+	}
+	sawSpan := false
+	for _, e := range doc.TraceEvents {
+		if e["ph"] == "X" {
+			sawSpan = true
+		}
+	}
+	if !sawSpan {
+		t.Fatal("no transaction spans in chrome trace")
+	}
+}
+
+func TestRunChromeToFilePrintsSummary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var out bytes.Buffer
+	if err := run([]string{"-procs", "2", "-ops", "16", "-format", "chrome", "-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "trace written to") || !strings.Contains(out.String(), "commits=") {
+		t.Fatalf("missing file-mode summary:\n%s", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("file is not valid JSON: %v", err)
+	}
+}

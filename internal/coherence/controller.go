@@ -185,6 +185,9 @@ func (c *Controller) Cache() *cache.Cache { return c.cache }
 // Stats returns controller counters.
 func (c *Controller) Stats() *Stats { return &c.stats }
 
+// MSHRCount reports outstanding misses (the observability sampler probe).
+func (c *Controller) MSHRCount() int { return len(c.mshrs) }
+
 // WriteBufferLines reports the speculative write-buffer occupancy.
 func (c *Controller) WriteBufferLines() int { return c.wb.LineCount() }
 

@@ -341,8 +341,9 @@ func (c *Controller) snoopAsOwner(t *bus.Txn, l *cache.Line) {
 			}
 		}
 		if dec == core.Defer {
-			c.eng.PushDeferred(core.Deferred{Line: line, Stamp: t.Stamp, Payload: t})
+			c.eng.PushDeferred(core.Deferred{Line: line, Stamp: t.Stamp, Payload: t, EnqueuedAt: uint64(c.sys.K.Now())})
 			c.sys.TraceStamp(c.id, trace.Deferral, line, t.Stamp)
+			c.sys.Metrics.NoteDeferral(c.id)
 			c.sys.Bus.SendMarker(t.Src, t.ID, line, c.id)
 			if t.Kind != bus.GetS {
 				// Ownership of record moves to the requester; we become a
@@ -621,8 +622,9 @@ func (c *Controller) serviceChain(line memsys.Addr, chain []chainEntry) {
 				}
 			}
 			if dec == core.Defer {
-				c.eng.PushDeferred(core.Deferred{Line: line, Stamp: t.Stamp, Payload: t})
+				c.eng.PushDeferred(core.Deferred{Line: line, Stamp: t.Stamp, Payload: t, EnqueuedAt: uint64(c.sys.K.Now())})
 				c.sys.TraceStamp(c.id, trace.Deferral, line, t.Stamp)
+				c.sys.Metrics.NoteDeferral(c.id)
 				if t.Kind != bus.GetS {
 					l.Masked = true
 				}
@@ -712,6 +714,7 @@ func (c *Controller) doCommit() {
 	if c.sys.Check != nil {
 		c.sys.Check.CommitTxn(c.id, c.specReads, c.wb.Words())
 	}
+	c.sys.Metrics.NoteCommit(c.id, uint64(len(c.wb.Lines())))
 	clear(c.specReads)
 	for _, line := range c.wb.Lines() {
 		l := c.mustProbe(line)
@@ -741,6 +744,7 @@ func (c *Controller) AbortTxn(reason core.Reason) {
 		c.sys.Check.AbortTxn(c.id)
 	}
 	c.sys.Trace(c.id, trace.TxnAbort, 0, reason.String())
+	c.sys.Metrics.NoteAbort(c.id)
 	clear(c.specReads)
 	c.wb.Discard()
 	c.cache.ClearSpecBits()
@@ -771,6 +775,7 @@ func (c *Controller) Deschedule() {
 func (c *Controller) serveDeferred(d core.Deferred) {
 	t := d.Payload.(*bus.Txn)
 	c.sys.TraceStamp(c.id, trace.DeferService, d.Line, d.Stamp)
+	c.sys.Metrics.NoteDeferServed(uint64(c.sys.K.Now()) - d.EnqueuedAt)
 	l := c.mustProbe(d.Line)
 	switch t.Kind {
 	case bus.GetS:

@@ -19,6 +19,7 @@ import (
 	"tlrsim/internal/checker"
 	"tlrsim/internal/core"
 	"tlrsim/internal/memsys"
+	"tlrsim/internal/metrics"
 	"tlrsim/internal/sim"
 	"tlrsim/internal/stamp"
 	"tlrsim/internal/trace"
@@ -54,6 +55,10 @@ type System struct {
 
 	// Tracer, when attached, records structured protocol events.
 	Tracer *trace.Tracer
+
+	// Metrics, when attached, is the observability instrument set (nil when
+	// disabled; every method on it is nil-safe).
+	Metrics *metrics.Set
 
 	cfg       Config
 	lockLines map[memsys.Addr]bool

@@ -174,6 +174,11 @@ type Deferred struct {
 	Line    memsys.Addr
 	Stamp   stamp.Stamp
 	Payload any
+
+	// EnqueuedAt is the cycle the request was deferred (observability: the
+	// deferral wait is measured when the request is finally served). Plain
+	// uint64 so the policy layer stays free of simulator-time types.
+	EnqueuedAt uint64
 }
 
 // Stats are the engine-level counters reported in the results section.
@@ -539,6 +544,10 @@ func (e *Engine) Commit() {
 // ResetAttempt clears the per-critical-section restart counter (called when
 // a Critical frame finishes, success or fallback).
 func (e *Engine) ResetAttempt() { e.restartsThisAttempt = 0 }
+
+// Restarts reports how many times the in-flight critical-section attempt has
+// restarted so far (observability: read before Commit resets it).
+func (e *Engine) Restarts() int { return e.restartsThisAttempt }
 
 // NoteUpgradeViolation records an upgrade-induced misspeculation on line
 // and reports whether future transactional reads of that line should fetch

@@ -129,12 +129,13 @@ func VictimCacheSweep(o Options) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{Name: "victim-cache", Runs: make(map[string]map[int]*stats.Run)}
-	t := &stats.Table{Header: []string{"victimEntries", "cycles", "resourceAborts", "fallbacks"}}
+	t := &stats.Table{Header: []string{"victimEntries", "cycles", "resourceAborts", "fallbacks", "abortsByReason"}}
 	for i, entries := range entrySet {
 		run := runs[i]
 		res.Runs[fmt.Sprintf("victim=%d", entries)] = map[int]*stats.Run{procs: run}
 		t.Add(fmt.Sprintf("%d", entries), fmt.Sprintf("%d", run.Cycles),
-			fmt.Sprintf("%d", run.AbortsByReason["resource"]), fmt.Sprintf("%d", run.Fallbacks))
+			fmt.Sprintf("%d", run.AbortsByReason["resource"]), fmt.Sprintf("%d", run.Fallbacks),
+			run.AbortReasonsString())
 	}
 	res.Report = "Victim-cache sweep (8 same-set lines per transaction)\n" + t.String()
 	return res, nil

@@ -47,6 +47,11 @@ type Options struct {
 	// Progress, when non-nil, receives one callback per completed
 	// simulation, in completion order.
 	Progress runner.Progress
+	// Metrics attaches the observability instrument set to every simulated
+	// machine; each run's rendered dump lands in stats.Run.MetricsDump
+	// (Result.MetricsDumps renders them per experiment). The instruments
+	// never alter simulation results.
+	Metrics bool
 }
 
 // DefaultOptions returns the standard experiment configuration.
@@ -131,6 +136,7 @@ type point struct {
 func runPoints(o Options, points []point) ([]*stats.Run, error) {
 	jobs := make([]runner.Job, len(points))
 	for i, pt := range points {
+		pt.cfg.EnableMetrics = o.Metrics
 		jobs[i] = runner.Job{Label: pt.label, Config: pt.cfg, Build: pt.build}
 	}
 	pool := &runner.Pool{Workers: o.Jobs, Progress: o.Progress}
@@ -263,7 +269,7 @@ func Fig11(o Options) (*AppResult, error) {
 		return nil, err
 	}
 	t := &stats.Table{Header: []string{
-		"app", "scheme", "cycles", "norm", "lock%", "commits", "aborts", "fallbacks",
+		"app", "scheme", "cycles", "norm", "lock%", "commits", "aborts", "fallbacks", "abortsByReason",
 	}}
 	i := 0
 	for _, name := range res.Apps {
@@ -283,6 +289,7 @@ func Fig11(o Options) (*AppResult, error) {
 				fmt.Sprintf("%d", run.Commits),
 				fmt.Sprintf("%d", run.Aborts),
 				fmt.Sprintf("%d", run.Fallbacks),
+				run.AbortReasonsString(),
 			)
 		}
 	}
@@ -463,7 +470,7 @@ func (r *Result) CSV() string {
 
 // CSV renders the application study as comma-separated values.
 func (r *AppResult) CSV() string {
-	t := &stats.Table{Header: []string{"app", "scheme", "cycles", "lockFraction", "commits", "aborts", "fallbacks"}}
+	t := &stats.Table{Header: []string{"app", "scheme", "cycles", "lockFraction", "commits", "aborts", "fallbacks", "abortsByReason"}}
 	for _, app := range r.Apps {
 		schemes := make([]string, 0, len(r.Runs[app]))
 		for s := range r.Runs[app] {
@@ -475,8 +482,57 @@ func (r *AppResult) CSV() string {
 			t.Add(app, s, fmt.Sprintf("%d", run.Cycles),
 				fmt.Sprintf("%.4f", run.LockFraction()),
 				fmt.Sprintf("%d", run.Commits), fmt.Sprintf("%d", run.Aborts),
-				fmt.Sprintf("%d", run.Fallbacks))
+				fmt.Sprintf("%d", run.Fallbacks),
+				run.AbortReasonsString())
 		}
 	}
 	return t.CSV()
+}
+
+// MetricsDumps renders every run's observability dump in deterministic order
+// (sorted labels, ascending inner keys), each under a "== label ==" heading.
+// Empty when the experiment ran without Options.Metrics.
+func (r *Result) MetricsDumps() string {
+	labels := make([]string, 0, len(r.Runs))
+	for l := range r.Runs {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	var b strings.Builder
+	for _, l := range labels {
+		for _, k := range stats.SortedKeys(r.Runs[l]) {
+			run := r.Runs[l][k]
+			if run == nil || run.MetricsDump == "" {
+				continue
+			}
+			key := fmt.Sprintf("procs=%d", k)
+			if len(r.Variants) > 0 && k < len(r.Variants) {
+				key = r.Variants[k]
+			}
+			fmt.Fprintf(&b, "== %s %s ==\n%s", l, key, run.MetricsDump)
+		}
+	}
+	return b.String()
+}
+
+// MetricsDumps renders every run's observability dump in deterministic order
+// (application order, sorted scheme labels). Empty when the experiment ran
+// without Options.Metrics.
+func (r *AppResult) MetricsDumps() string {
+	var b strings.Builder
+	for _, app := range r.Apps {
+		schemes := make([]string, 0, len(r.Runs[app]))
+		for s := range r.Runs[app] {
+			schemes = append(schemes, s)
+		}
+		sort.Strings(schemes)
+		for _, s := range schemes {
+			run := r.Runs[app][s]
+			if run == nil || run.MetricsDump == "" {
+				continue
+			}
+			fmt.Fprintf(&b, "== %s %s ==\n%s", app, s, run.MetricsDump)
+		}
+	}
+	return b.String()
 }

@@ -1,0 +1,305 @@
+// Package metrics is the simulator's observability registry: counters,
+// power-of-two-bucket histograms, and periodic time-series samplers driven
+// off the discrete-event kernel clock, plus per-lock contention profiles.
+//
+// The design constraint is the PR 2 invariant: with observability disabled
+// the hot path must cost nothing, and with it enabled the hot path must not
+// allocate. Both follow from the same two rules. First, every entry point
+// the simulator calls is a method on a possibly-nil receiver (the
+// trace.Tracer pattern): a disabled machine carries a nil *Set and every
+// note is one pointer test. Second, all instruments are preallocated at
+// machine construction (or lock registration), so an enabled update is a
+// handful of integer stores into existing slots — no maps are written, no
+// slices grow, no interfaces box. Both properties are asserted with
+// testing.AllocsPerRun.
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"tlrsim/internal/sim"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	Name string
+	v    uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// histBuckets is one slot per possible bits.Len64 result: bucket k counts
+// observations v with bits.Len64(v) == k, i.e. v in [2^(k-1), 2^k).
+// Bucket 0 counts exact zeros.
+const histBuckets = 65
+
+// Histogram accumulates a value distribution in power-of-two buckets, plus
+// exact count/sum/max. Observing is three integer adds, a compare, and one
+// array store — no allocation, no floating point.
+type Histogram struct {
+	Name string
+	Unit string
+
+	count   uint64
+	sum     uint64
+	max     uint64
+	buckets [histBuckets]uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	h.buckets[bits.Len64(v)]++
+}
+
+// Count returns how many values were observed.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the total of all observed values.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Max returns the largest observed value (0 if none).
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Mean returns the average observed value (0 if none).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Bucket returns the count in bucket k (values in [2^(k-1), 2^k); k=0 holds
+// exact zeros).
+func (h *Histogram) Bucket(k int) uint64 {
+	if k < 0 || k >= histBuckets {
+		return 0
+	}
+	return h.buckets[k]
+}
+
+// bucketsString renders the non-empty buckets as "<upper:count" pairs, where
+// upper is the bucket's exclusive power-of-two upper bound.
+func (h *Histogram) bucketsString() string {
+	var b strings.Builder
+	for k, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteString(" ")
+		}
+		if k == 0 {
+			fmt.Fprintf(&b, "=0:%d", n)
+		} else if k < 63 {
+			fmt.Fprintf(&b, "<%d:%d", uint64(1)<<k, n)
+		} else {
+			fmt.Fprintf(&b, "<2^%d:%d", k, n)
+		}
+	}
+	return b.String()
+}
+
+// String renders the histogram summary plus its non-empty buckets.
+func (h *Histogram) String() string {
+	unit := h.Unit
+	if unit != "" {
+		unit = " " + unit
+	}
+	if h.count == 0 {
+		return fmt.Sprintf("count=0%s", unit)
+	}
+	return fmt.Sprintf("count=%d mean=%.1f max=%d%s | %s",
+		h.count, h.Mean(), h.max, unit, h.bucketsString())
+}
+
+// maxSamples bounds each sampler's series so a long run cannot grow memory
+// without bound; the drop count records how much of the tail was lost.
+const maxSamples = 4096
+
+// Sampler periodically evaluates a probe function on the kernel clock and
+// records the (cycle, value) series. Samples are appended into storage
+// preallocated at registration, so sampling does not allocate.
+type Sampler struct {
+	Name   string
+	Period uint64
+
+	probe   func() uint64
+	k       *sim.Kernel
+	stopped bool
+	dropped uint64
+	times   []uint64
+	vals    []uint64
+}
+
+// samplerTick is the sampler's pre-bound kernel callback: record one sample
+// and reschedule.
+func samplerTick(recv, _ any, _ uint64) {
+	s := recv.(*Sampler)
+	if s.stopped {
+		return
+	}
+	if len(s.vals) < maxSamples {
+		s.times = append(s.times, uint64(s.k.Now()))
+		s.vals = append(s.vals, s.probe())
+	} else {
+		s.dropped++
+	}
+	s.k.AfterCall(s.Period, samplerTick, s, nil, 0)
+}
+
+// start schedules the first tick.
+func (s *Sampler) start(k *sim.Kernel) {
+	s.k = k
+	s.stopped = false
+	k.AfterCall(s.Period, samplerTick, s, nil, 0)
+}
+
+// Samples returns the recorded (cycle, value) series.
+func (s *Sampler) Samples() (times, vals []uint64) { return s.times, s.vals }
+
+// summary computes min/mean/max over the recorded values.
+func (s *Sampler) summary() (min, max uint64, mean float64) {
+	if len(s.vals) == 0 {
+		return 0, 0, 0
+	}
+	min = s.vals[0]
+	var sum uint64
+	for _, v := range s.vals {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	return min, max, float64(sum) / float64(len(s.vals))
+}
+
+// Registry holds the registered instruments of one machine. Registration
+// happens at construction time (allocations are fine there); updates go
+// directly through the returned instrument pointers.
+type Registry struct {
+	counters []*Counter
+	hists    []*Histogram
+	samplers []*Sampler
+}
+
+// NewCounter registers a counter.
+func (r *Registry) NewCounter(name string) *Counter {
+	c := &Counter{Name: name}
+	r.counters = append(r.counters, c)
+	return c
+}
+
+// NewHistogram registers a histogram; unit annotates the dump ("cycles",
+// "lines", ...).
+func (r *Registry) NewHistogram(name, unit string) *Histogram {
+	h := &Histogram{Name: name, Unit: unit}
+	r.hists = append(r.hists, h)
+	return h
+}
+
+// NewSampler registers a periodic probe; the series storage is preallocated
+// so ticks never allocate.
+func (r *Registry) NewSampler(name string, period uint64, probe func() uint64) *Sampler {
+	if period == 0 {
+		period = 512
+	}
+	s := &Sampler{
+		Name:   name,
+		Period: period,
+		probe:  probe,
+		times:  make([]uint64, 0, maxSamples),
+		vals:   make([]uint64, 0, maxSamples),
+	}
+	r.samplers = append(r.samplers, s)
+	return s
+}
+
+// StartSamplers schedules every sampler's first tick on k. Nil-safe: a
+// disabled machine carries a nil registry.
+func (r *Registry) StartSamplers(k *sim.Kernel) {
+	if r == nil {
+		return
+	}
+	for _, s := range r.samplers {
+		s.start(k)
+	}
+}
+
+// StopSamplers halts all sampling. The machine calls this when the last
+// thread finishes, BEFORE draining remaining events: a self-rescheduling
+// sampler would otherwise keep the event queue populated forever.
+func (r *Registry) StopSamplers() {
+	if r == nil {
+		return
+	}
+	for _, s := range r.samplers {
+		s.stopped = true
+	}
+}
+
+// WriteTo renders the registry in registration order (deterministic).
+func (r *Registry) writeTo(b *strings.Builder) {
+	if len(r.counters) > 0 {
+		b.WriteString("counters:\n")
+		for _, c := range r.counters {
+			fmt.Fprintf(b, "  %-24s %d\n", c.Name, c.v)
+		}
+	}
+	if len(r.hists) > 0 {
+		b.WriteString("histograms:\n")
+		for _, h := range r.hists {
+			fmt.Fprintf(b, "  %-24s %s\n", h.Name, h)
+		}
+	}
+	if len(r.samplers) > 0 {
+		b.WriteString("samplers:\n")
+		for _, s := range r.samplers {
+			min, max, mean := s.summary()
+			fmt.Fprintf(b, "  %-24s period=%d samples=%d min=%d mean=%.1f max=%d",
+				s.Name, s.Period, len(s.vals), min, mean, max)
+			if s.dropped > 0 {
+				fmt.Fprintf(b, " dropped=%d", s.dropped)
+			}
+			b.WriteString("\n")
+			if len(s.vals) > 0 {
+				b.WriteString("    series:")
+				for i, v := range s.vals {
+					fmt.Fprintf(b, " %d:%d", s.times[i], v)
+				}
+				b.WriteString("\n")
+			}
+		}
+	}
+}
+
+// sortLockProfiles orders profiles hottest first (activity, then address) —
+// the per-lock analogue of ranking Figure 11's bars.
+func sortLockProfiles(profiles []*LockProfile) []*LockProfile {
+	out := append([]*LockProfile(nil), profiles...)
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := out[i].activity(), out[j].activity()
+		if ai != aj {
+			return ai > aj
+		}
+		return out[i].Addr < out[j].Addr
+	})
+	return out
+}

@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"tlrsim/internal/sim"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 1, 2, 3, 4, 7, 8, 1023, 1024} {
+		h.Observe(v)
+	}
+	if h.Count() != 10 {
+		t.Fatalf("count = %d, want 10", h.Count())
+	}
+	if h.Max() != 1024 {
+		t.Fatalf("max = %d, want 1024", h.Max())
+	}
+	if got := h.Sum(); got != 0+1+1+2+3+4+7+8+1023+1024 {
+		t.Fatalf("sum = %d", got)
+	}
+	// bits.Len64 bucketing: 0 -> bucket 0; 1 -> 1; 2,3 -> 2; 4..7 -> 3;
+	// 8 -> 4; 1023 -> 10; 1024 -> 11.
+	wants := map[int]uint64{0: 1, 1: 2, 2: 2, 3: 2, 4: 1, 10: 1, 11: 1}
+	for k, want := range wants {
+		if got := h.Bucket(k); got != want {
+			t.Errorf("bucket %d = %d, want %d", k, got, want)
+		}
+	}
+	if !strings.Contains(h.String(), "=0:1") || !strings.Contains(h.String(), "<2048:1") {
+		t.Errorf("histogram rendering missing buckets: %s", h.String())
+	}
+}
+
+// TestHotPathAllocFree asserts the tentpole's core property: every update
+// the simulator makes on the hot path is allocation-free, both enabled and
+// disabled (nil receiver).
+func TestHotPathAllocFree(t *testing.T) {
+	s := NewSet(4)
+	p := s.RegisterLock(0x10040, 1)
+	s.SetCurrent(2, p)
+	if a := testing.AllocsPerRun(200, func() {
+		s.Commits.Inc()
+		s.Aborts.Add(2)
+		s.CritCycles.Observe(300)
+		s.NoteCritDone(2, p, 512)
+		s.NoteRetries(3)
+		s.NoteCommit(2, 8)
+		s.NoteAbort(2)
+		s.NoteDeferral(2)
+		s.NoteDeferServed(40)
+		s.NoteFallback(2, p)
+		p.Acquires++
+		p.Hold.Observe(128)
+	}); a != 0 {
+		t.Fatalf("enabled hot path allocates: %.1f allocs/run", a)
+	}
+
+	var off *Set
+	if a := testing.AllocsPerRun(200, func() {
+		off.SetCurrent(0, nil)
+		off.NoteCritDone(0, nil, 1)
+		off.NoteRetries(1)
+		off.NoteCommit(0, 1)
+		off.NoteAbort(0)
+		off.NoteDeferral(0)
+		off.NoteDeferServed(1)
+		off.NoteFallback(0, nil)
+	}); a != 0 {
+		t.Fatalf("disabled (nil) hot path allocates: %.1f allocs/run", a)
+	}
+}
+
+func TestSamplerTicksAndStops(t *testing.T) {
+	k := sim.New(1)
+	s := NewSet(1)
+	var depth uint64 = 7
+	sampler := s.Registry().NewSampler("probe", 100, func() uint64 { return depth })
+	s.Registry().StartSamplers(k)
+	k.RunUntil(func() bool { return k.Now() >= 400 })
+	s.Registry().StopSamplers()
+	k.Run()
+	times, vals := sampler.Samples()
+	if len(vals) != 4 {
+		t.Fatalf("got %d samples, want 4 (ticks at 100..400): times=%v", len(vals), times)
+	}
+	for i, at := range times {
+		if want := uint64(100 * (i + 1)); at != want {
+			t.Errorf("sample %d at cycle %d, want %d", i, at, want)
+		}
+		if vals[i] != 7 {
+			t.Errorf("sample %d = %d, want 7", i, vals[i])
+		}
+	}
+}
+
+// TestSamplerTickAllocFree asserts the periodic sampling path does not
+// allocate once storage is preallocated.
+func TestSamplerTickAllocFree(t *testing.T) {
+	k := sim.New(1)
+	s := NewSet(1)
+	s.Registry().NewSampler("probe", 1, func() uint64 { return 1 })
+	s.Registry().StartSamplers(k)
+	if a := testing.AllocsPerRun(500, func() {
+		k.Step()
+	}); a != 0 {
+		t.Fatalf("sampler tick allocates: %.1f allocs/run", a)
+	}
+}
+
+func TestDumpRanksLocksAndIsDeterministic(t *testing.T) {
+	s := NewSet(2)
+	cold := s.RegisterLock(0x200, 1)
+	hot := s.RegisterLock(0x100, 2)
+	hot.Elided = 50
+	hot.Acquires = 2
+	hot.Hold.Observe(900)
+	cold.Acquires = 1
+	s.NoteCommit(0, 3)
+	d1 := s.Dump()
+	d2 := s.Dump()
+	if d1 != d2 {
+		t.Fatal("dump is not deterministic")
+	}
+	hotAt := strings.Index(d1, "lock id=2")
+	coldAt := strings.Index(d1, "lock id=1")
+	if hotAt < 0 || coldAt < 0 || hotAt > coldAt {
+		t.Fatalf("locks not ranked hottest first:\n%s", d1)
+	}
+	for _, want := range []string{"commits", "wb_drain", "elide%=96.2", "hold: count=1"} {
+		if !strings.Contains(d1, want) {
+			t.Errorf("dump missing %q:\n%s", want, d1)
+		}
+	}
+	if s.Lock(0x100) != hot {
+		t.Fatal("Lock(addr) lookup failed")
+	}
+}
+
+func TestNilSetAccessors(t *testing.T) {
+	var s *Set
+	if s.Dump() != "" || s.Registry() != nil || s.Locks() != nil || s.Lock(0) != nil {
+		t.Fatal("nil Set accessors must return zero values")
+	}
+	if p := s.RegisterLock(0x40, 1); p != nil {
+		t.Fatal("RegisterLock on nil Set must return nil")
+	}
+}

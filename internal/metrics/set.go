@@ -1,0 +1,245 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"tlrsim/internal/memsys"
+)
+
+// LockProfile is the per-lock contention profile: how the critical sections
+// protected by one lock actually executed. Profiles are preallocated when
+// the lock is registered, so hot-path updates are plain integer stores.
+type LockProfile struct {
+	// ID is the lock's static site id, Addr its lock-word address.
+	ID   int
+	Addr memsys.Addr
+
+	// Acquires counts real lock acquisitions; Elided counts critical
+	// sections committed lock-free (their ratio is the elision success
+	// rate). Fallbacks counts elision give-ups that forced an acquire.
+	Acquires  uint64
+	Elided    uint64
+	Fallbacks uint64
+	// Aborts counts transaction restarts attributed to critical sections
+	// under this lock; DeferralVictims counts remote requests made to wait
+	// behind this lock's transactions.
+	Aborts          uint64
+	DeferralVictims uint64
+
+	// Hold is the critical-section occupancy histogram: cycles from
+	// dispatch of the outermost Critical frame to its completion,
+	// restarts included.
+	Hold Histogram
+}
+
+// ElideRate returns the fraction of completed critical sections that ran
+// lock-free.
+func (p *LockProfile) ElideRate() float64 {
+	total := p.Acquires + p.Elided
+	if total == 0 {
+		return 0
+	}
+	return float64(p.Elided) / float64(total)
+}
+
+// activity ranks the profile for hot-lock reporting.
+func (p *LockProfile) activity() uint64 { return p.Acquires + p.Elided }
+
+// Set is the simulator-wide instrument set threaded through one machine:
+// the registry plus typed handles for every instrument the processor and
+// coherence layers update. A nil *Set is the disabled state — every method
+// is nil-safe, so call sites need no guards and disabled cost is one
+// pointer test.
+type Set struct {
+	reg Registry
+
+	// Paper-level event counters.
+	Commits   *Counter
+	Aborts    *Counter
+	Deferrals *Counter
+	Fallbacks *Counter
+
+	// CritCycles: cycles per critical section (entry to exit, restarts
+	// included). CommitRetries: restarts absorbed before each successful
+	// commit. DeferWait: cycles a deferred request waited for service.
+	// WBDrain: speculative write-buffer lines drained per commit.
+	CritCycles    *Histogram
+	CommitRetries *Histogram
+	DeferWait     *Histogram
+	WBDrain       *Histogram
+
+	// current tracks, per CPU, the profile of the lock whose critical
+	// section is in flight, so coherence-layer events (aborts, deferrals)
+	// can be attributed without knowing about locks.
+	current []*LockProfile
+
+	locks    map[memsys.Addr]*LockProfile
+	lockList []*LockProfile
+}
+
+// NewSet builds the instrument set for a machine with procs CPUs.
+func NewSet(procs int) *Set {
+	s := &Set{
+		current: make([]*LockProfile, procs),
+		locks:   make(map[memsys.Addr]*LockProfile),
+	}
+	s.Commits = s.reg.NewCounter("commits")
+	s.Aborts = s.reg.NewCounter("aborts")
+	s.Deferrals = s.reg.NewCounter("deferrals")
+	s.Fallbacks = s.reg.NewCounter("fallbacks")
+	s.CritCycles = s.reg.NewHistogram("crit_cycles", "cycles")
+	s.CommitRetries = s.reg.NewHistogram("retries_per_commit", "restarts")
+	s.DeferWait = s.reg.NewHistogram("defer_wait", "cycles")
+	s.WBDrain = s.reg.NewHistogram("wb_drain", "lines")
+	return s
+}
+
+// Registry exposes the generic registry (extra instruments, samplers).
+func (s *Set) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return &s.reg
+}
+
+// RegisterLock preallocates the contention profile for a lock word.
+// Construction-time only; returns nil on a disabled set so Lock carries a
+// nil profile pointer and hot sites skip with one test.
+func (s *Set) RegisterLock(addr memsys.Addr, id int) *LockProfile {
+	if s == nil {
+		return nil
+	}
+	p := &LockProfile{ID: id, Addr: addr}
+	s.locks[addr] = p
+	s.lockList = append(s.lockList, p)
+	return p
+}
+
+// Lock returns the profile registered for a lock-word address (nil if none).
+func (s *Set) Lock(addr memsys.Addr) *LockProfile {
+	if s == nil {
+		return nil
+	}
+	return s.locks[addr]
+}
+
+// Locks returns every registered profile, hottest first.
+func (s *Set) Locks() []*LockProfile {
+	if s == nil {
+		return nil
+	}
+	return sortLockProfiles(s.lockList)
+}
+
+// SetCurrent marks p as the lock profile owning cpu's in-flight critical
+// section (nil clears it).
+func (s *Set) SetCurrent(cpu int, p *LockProfile) {
+	if s == nil {
+		return
+	}
+	s.current[cpu] = p
+}
+
+// NoteCritDone records a completed critical section: cycles from dispatch
+// to completion, restarts included.
+func (s *Set) NoteCritDone(cpu int, p *LockProfile, cycles uint64) {
+	if s == nil {
+		return
+	}
+	s.CritCycles.Observe(cycles)
+	if p != nil {
+		p.Hold.Observe(cycles)
+	}
+}
+
+// NoteRetries records how many restarts a successful commit absorbed.
+func (s *Set) NoteRetries(restarts uint64) {
+	if s == nil {
+		return
+	}
+	s.CommitRetries.Observe(restarts)
+}
+
+// NoteCommit records a transaction commit and its write-buffer drain size.
+func (s *Set) NoteCommit(cpu int, wbLines uint64) {
+	if s == nil {
+		return
+	}
+	s.Commits.Inc()
+	s.WBDrain.Observe(wbLines)
+}
+
+// NoteAbort records a transaction abort, attributed to the lock whose
+// critical section cpu is executing.
+func (s *Set) NoteAbort(cpu int) {
+	if s == nil {
+		return
+	}
+	s.Aborts.Inc()
+	if p := s.current[cpu]; p != nil {
+		p.Aborts++
+	}
+}
+
+// NoteDeferral records an incoming request deferred behind cpu's
+// transaction (the requester is this lock's deferral victim).
+func (s *Set) NoteDeferral(cpu int) {
+	if s == nil {
+		return
+	}
+	s.Deferrals.Inc()
+	if p := s.current[cpu]; p != nil {
+		p.DeferralVictims++
+	}
+}
+
+// NoteDeferServed records how long a deferred request waited for its answer.
+func (s *Set) NoteDeferServed(waitCycles uint64) {
+	if s == nil {
+		return
+	}
+	s.DeferWait.Observe(waitCycles)
+}
+
+// NoteFallback records elision giving up and acquiring p's lock for real.
+func (s *Set) NoteFallback(cpu int, p *LockProfile) {
+	if s == nil {
+		return
+	}
+	s.Fallbacks.Inc()
+	if p != nil {
+		p.Fallbacks++
+	}
+}
+
+// maxLockRows bounds the per-lock section of the dump: fine-grained
+// workloads register thousands of locks, and the ranking already puts the
+// informative ones first.
+const maxLockRows = 16
+
+// Dump renders the full instrument set deterministically: counters,
+// histograms, and samplers in registration order, then lock profiles
+// hottest first.
+func (s *Set) Dump() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	s.reg.writeTo(&b)
+	ranked := s.Locks()
+	if len(ranked) > 0 {
+		b.WriteString("locks (hottest first):\n")
+		for i, p := range ranked {
+			if i >= maxLockRows {
+				fmt.Fprintf(&b, "  (+%d more locks)\n", len(ranked)-maxLockRows)
+				break
+			}
+			fmt.Fprintf(&b, "  lock id=%d %s: acquires=%d elided=%d elide%%=%.1f fallbacks=%d aborts=%d deferral-victims=%d\n",
+				p.ID, p.Addr, p.Acquires, p.Elided, 100*p.ElideRate(),
+				p.Fallbacks, p.Aborts, p.DeferralVictims)
+			fmt.Fprintf(&b, "    hold: %s\n", &p.Hold)
+		}
+	}
+	return b.String()
+}

@@ -79,6 +79,14 @@ type CPU struct {
 	// executes before this cycle (§4 stability experiments).
 	stalledUntil sim.Time
 
+	// critArmed spans the outermost critical section for observability:
+	// armed at the first dispatch of the outermost Critical frame, disarmed
+	// at its completion, surviving restarts in between so the recorded hold
+	// time includes them. Only meaningful when metrics are enabled.
+	critArmed bool
+	critStart sim.Time
+	critLock  *Lock
+
 	lastOp opKind
 
 	stats Stats
@@ -252,6 +260,12 @@ func (cpu *CPU) startOp(o op) {
 	case opCompute:
 		cpu.m.K.AfterCall(o.n, computeDoneEvent, cpu, nil, cpu.seq)
 	case opTxBegin:
+		if cpu.m.mx != nil && !cpu.critArmed && o.frames == 0 {
+			cpu.critArmed = true
+			cpu.critStart = cpu.m.K.Now()
+			cpu.critLock = o.lock
+			cpu.m.mx.SetCurrent(cpu.id, o.lock.prof)
+		}
 		seq := cpu.seq
 		complete := func(r result) { cpu.completeOp(seq, r) }
 		alive := func() bool { return cpu.seq == seq && cpu.opActive }
@@ -266,6 +280,7 @@ func (cpu *CPU) startOp(o op) {
 		if cpu.eng.Depth() == 0 {
 			cpu.rmw.EndSection()
 			cpu.eng.ResetAttempt()
+			cpu.noteCritDone(o.lock)
 		}
 		cpu.finishOp(result{ok: true})
 	case opUnelidable:
@@ -357,6 +372,19 @@ func (cpu *CPU) onAbort(core.Reason) {
 
 func (cpu *CPU) useRMW() bool { return cpu.m.cfg.UseRMWPredictor }
 
+// noteCritDone closes the observability span opened at the outermost
+// Critical dispatch. Gated on the armed lock so nested frames under other
+// locks pass through untouched.
+func (cpu *CPU) noteCritDone(l *Lock) {
+	if !cpu.critArmed || cpu.critLock != l {
+		return
+	}
+	cpu.critArmed = false
+	cpu.critLock = nil
+	cpu.m.mx.NoteCritDone(cpu.id, l.prof, uint64(cpu.m.K.Now()-cpu.critStart))
+	cpu.m.mx.SetCurrent(cpu.id, nil)
+}
+
 // spin implements the test&test&set-style local spin: re-check only when
 // the line's visibility changes.
 func (cpu *CPU) spin(o op, seq uint64) {
@@ -433,11 +461,17 @@ func (cpu *CPU) txBeginDispatchFenced(o op, complete func(result), alive func() 
 	case Base:
 		cpu.eng.EnterCritical(false)
 		o.lock.stats.Acquired++
+		if p := o.lock.prof; p != nil {
+			p.Acquires++
+		}
 		complete(result{mode: CritAcquireTTS})
 		return
 	case MCS:
 		cpu.eng.EnterCritical(false)
 		o.lock.stats.Acquired++
+		if p := o.lock.prof; p != nil {
+			p.Acquires++
+		}
 		complete(result{mode: CritAcquireMCS})
 		return
 	}
@@ -445,10 +479,14 @@ func (cpu *CPU) txBeginDispatchFenced(o op, complete func(result), alive func() 
 		if cpu.pendingFallback {
 			cpu.pendingFallback = false
 			cpu.eng.NoteFallback()
+			cpu.m.mx.NoteFallback(cpu.id, o.lock.prof)
 			cpu.m.Sys.Trace(cpu.id, trace.Fallback, o.lock.Addr, "")
 		}
 		cpu.eng.EnterCritical(false)
 		o.lock.stats.Acquired++
+		if p := o.lock.prof; p != nil {
+			p.Acquires++
+		}
 		complete(result{mode: CritAcquireTTS})
 		return
 	}
@@ -540,18 +578,28 @@ func (cpu *CPU) txEnd(o op, complete func(result)) {
 	if !cpu.eng.Outermost() {
 		cpu.eng.ExitCritical(true)
 		o.lock.stats.Elided++
+		if p := o.lock.prof; p != nil {
+			p.Elided++
+		}
 		complete(result{ok: true})
 		return
 	}
+	// Restarts must be read before commit: ResetAttempt clears the count.
+	retries := uint64(cpu.eng.Restarts())
 	cpu.ctrl.TryCommit(func(ok bool) {
 		if !ok {
 			complete(result{aborted: true})
 			return
 		}
 		o.lock.stats.Elided++
+		if p := o.lock.prof; p != nil {
+			p.Elided++
+		}
 		cpu.elide.Success(o.lock.ID)
 		cpu.rmw.EndSection()
 		cpu.eng.ResetAttempt()
+		cpu.m.mx.NoteRetries(retries)
+		cpu.noteCritDone(o.lock)
 		complete(result{ok: true})
 	})
 }

@@ -24,6 +24,7 @@ import (
 	"tlrsim/internal/core"
 	"tlrsim/internal/locks"
 	"tlrsim/internal/memsys"
+	"tlrsim/internal/metrics"
 	"tlrsim/internal/sim"
 	"tlrsim/internal/trace"
 )
@@ -98,6 +99,18 @@ type Config struct {
 	// TraceCapacity, when positive, attaches a protocol-event tracer
 	// retaining the last TraceCapacity events (Machine.Trace).
 	TraceCapacity int
+
+	// TraceSink, when non-nil, streams every protocol event into the sink
+	// as it is recorded (structured trace export). A sink implies a tracer
+	// even when TraceCapacity is zero.
+	TraceSink trace.Sink
+
+	// EnableMetrics attaches the observability instrument set
+	// (Machine.Metrics): counters, power-of-two histograms, per-lock
+	// contention profiles, and periodic samplers. Disabled, the machine
+	// carries a nil set and every instrumentation site costs one pointer
+	// test.
+	EnableMetrics bool
 }
 
 func (c Config) policy() core.Policy {
@@ -128,6 +141,7 @@ type Machine struct {
 
 	cfg        Config
 	nextLockID int
+	mx         *metrics.Set
 }
 
 // NewMachine builds the machine: kernel, bus, caches, engines, CPUs.
@@ -159,8 +173,31 @@ func NewMachine(cfg Config) *Machine {
 	if cfg.EnableChecker {
 		sys.AttachChecker(checker.New())
 	}
-	if cfg.TraceCapacity > 0 {
+	if cfg.TraceCapacity > 0 || cfg.TraceSink != nil {
 		sys.Tracer = trace.New(cfg.TraceCapacity)
+		sys.Tracer.AttachSink(cfg.TraceSink)
+	}
+	if cfg.EnableMetrics {
+		m.mx = metrics.NewSet(cfg.Procs)
+		sys.Metrics = m.mx
+		reg := m.mx.Registry()
+		reg.NewSampler("bus_occupancy", 512, func() uint64 {
+			return uint64(sys.Bus.Outstanding() + sys.Bus.Queued())
+		})
+		reg.NewSampler("defer_queue_depth", 512, func() uint64 {
+			var n uint64
+			for _, e := range engines {
+				n += uint64(e.DeferredLen())
+			}
+			return n
+		})
+		reg.NewSampler("outstanding_misses", 512, func() uint64 {
+			var n uint64
+			for _, c := range sys.Ctrls {
+				n += uint64(c.MSHRCount())
+			}
+			return n
+		})
 	}
 	m.CPUs = make([]*CPU, cfg.Procs)
 	for i := range m.CPUs {
@@ -181,6 +218,7 @@ func (m *Machine) Mem() *memsys.Memory { return m.Sys.Mem }
 func (m *Machine) NewLock() *Lock {
 	m.nextLockID++
 	l := &Lock{ID: m.nextLockID, Addr: m.Alloc.PaddedWord()}
+	l.prof = m.mx.RegisterLock(l.Addr, l.ID)
 	m.Sys.RegisterLock(l.Addr)
 	if m.cfg.Scheme == MCS {
 		l.attachMCS(m)
@@ -198,6 +236,7 @@ func (m *Machine) Run(progs []func(*TC)) error {
 	for i, p := range progs {
 		m.CPUs[i].start(p)
 	}
+	m.mx.Registry().StartSamplers(m.K)
 	for {
 		if m.allDone() {
 			break
@@ -209,6 +248,9 @@ func (m *Machine) Run(progs []func(*TC)) error {
 			return fmt.Errorf("proc: deadlock at cycle %d: %s", m.K.Now(), m.describeStall())
 		}
 	}
+	// Stop samplers before draining: a self-rescheduling sampler tick would
+	// otherwise keep the queue populated forever.
+	m.mx.Registry().StopSamplers()
 	// Drain the memory system (in-flight write-backs etc.).
 	m.K.Run()
 	return nil
@@ -263,6 +305,10 @@ func (m *Machine) GuaranteedFootprintLines() int {
 // set).
 func (m *Machine) Trace() *trace.Tracer { return m.Sys.Tracer }
 
+// Metrics returns the attached observability instrument set (nil unless
+// EnableMetrics was set; all methods on a nil set are no-ops).
+func (m *Machine) Metrics() *metrics.Set { return m.mx }
+
 // CheckerErr reports functional-checker violations (nil when the checker is
 // disabled or everything validated).
 func (m *Machine) CheckerErr() error {
@@ -295,6 +341,9 @@ type Lock struct {
 
 	mcs   *locks.MCS
 	stats LockStats
+	// prof is the preallocated contention profile (nil when metrics are
+	// disabled, so hot sites skip it with one pointer test).
+	prof *metrics.LockProfile
 }
 
 // LockStats counts how critical sections protected by one lock actually

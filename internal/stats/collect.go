@@ -45,5 +45,6 @@ func Collect(m *proc.Machine) *Run {
 	r.DataMsgs = bs.DataMsgs
 	r.Markers = bs.Markers
 	r.Probes = bs.Probes
+	r.MetricsDump = m.Metrics().Dump()
 	return r
 }

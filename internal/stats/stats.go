@@ -27,6 +27,29 @@ type Run struct {
 	// Memory-system totals.
 	Loads, Stores, Misses, Upgrades, Writebacks uint64
 	BusTxns, DataMsgs, Markers, Probes          uint64
+
+	// MetricsDump is the rendered observability instrument set, captured at
+	// collection because the runner discards the machine ("" when metrics
+	// were disabled).
+	MetricsDump string
+}
+
+// AbortReasonsString renders AbortsByReason deterministically as
+// "reason:count" pairs sorted by reason, or "-" when no aborts occurred.
+func (r *Run) AbortReasonsString() string {
+	if len(r.AbortsByReason) == 0 {
+		return "-"
+	}
+	reasons := make([]string, 0, len(r.AbortsByReason))
+	for reason := range r.AbortsByReason {
+		reasons = append(reasons, reason)
+	}
+	sort.Strings(reasons)
+	parts := make([]string, len(reasons))
+	for i, reason := range reasons {
+		parts[i] = fmt.Sprintf("%s:%d", reason, r.AbortsByReason[reason])
+	}
+	return strings.Join(parts, ";")
 }
 
 // LockFraction returns the share of accounted cycles attributed to lock

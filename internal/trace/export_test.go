@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestJSONLWriterEmitsOneObjectPerEvent(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	tr := New(8)
+	tr.AttachSink(w)
+	tr.Record(Event{At: 10, CPU: 0, Kind: TxnBegin, Line: 0x40, Info: "l1"})
+	tr.Record(Event{At: 25, CPU: 1, Kind: TxnCommit})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if rec["at"] != float64(10) || rec["cpu"] != float64(0) || rec["kind"] != "txn-begin" || rec["info"] != "l1" {
+		t.Fatalf("bad record: %v", rec)
+	}
+	var rec2 map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &rec2); err != nil {
+		t.Fatalf("line 1 not JSON: %v", err)
+	}
+	if _, ok := rec2["line"]; ok {
+		t.Fatalf("zero line should be omitted: %v", rec2)
+	}
+}
+
+// chromeDoc parses a complete Chrome trace document.
+type chromeDoc struct {
+	TraceEvents []map[string]any `json:"traceEvents"`
+}
+
+func parseChrome(t *testing.T, data []byte) chromeDoc {
+	t.Helper()
+	var doc chromeDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("not valid Chrome trace JSON: %v\n%s", err, data)
+	}
+	return doc
+}
+
+func (d chromeDoc) byPh(ph string) []map[string]any {
+	var out []map[string]any
+	for _, e := range d.TraceEvents {
+		if e["ph"] == ph {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestChromeWriterSpansAndFlows(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewChromeWriter(&buf)
+	tr := New(8)
+	tr.AttachSink(w)
+	// A committed transaction on CPU 0 that defers a request at t=20,
+	// serving it at t=35; an aborted transaction on CPU 1.
+	tr.Record(Event{At: 10, CPU: 0, Kind: TxnBegin, Info: "lock1"})
+	tr.Record(Event{At: 20, CPU: 0, Kind: Deferral, Line: 0x80})
+	tr.Record(Event{At: 15, CPU: 1, Kind: TxnBegin})
+	tr.Record(Event{At: 30, CPU: 1, Kind: TxnAbort, Info: "conflict"})
+	tr.Record(Event{At: 35, CPU: 0, Kind: DeferService, Line: 0x80})
+	tr.Record(Event{At: 40, CPU: 0, Kind: TxnCommit})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	doc := parseChrome(t, buf.Bytes())
+
+	spans := doc.byPh("X")
+	if len(spans) != 2 {
+		t.Fatalf("got %d complete spans, want 2: %v", len(spans), spans)
+	}
+	var commit, abort map[string]any
+	for _, s := range spans {
+		switch s["name"] {
+		case "txn(commit)":
+			commit = s
+		case "txn(abort)":
+			abort = s
+		}
+	}
+	if commit == nil || abort == nil {
+		t.Fatalf("missing commit/abort span: %v", spans)
+	}
+	if commit["tid"] != float64(0) || commit["dur"] != 0.030 {
+		t.Fatalf("bad commit span: %v", commit)
+	}
+	if abort["args"].(map[string]any)["reason"] != "conflict" {
+		t.Fatalf("abort span lost its reason: %v", abort)
+	}
+
+	starts, finishes := doc.byPh("s"), doc.byPh("f")
+	if len(starts) != 1 || len(finishes) != 1 {
+		t.Fatalf("got %d flow starts / %d finishes, want 1/1", len(starts), len(finishes))
+	}
+	if starts[0]["id"] != finishes[0]["id"] {
+		t.Fatalf("flow ids do not pair: %v vs %v", starts[0], finishes[0])
+	}
+
+	if got := len(doc.byPh("M")); got != 3 { // process_name + 2 thread_names
+		t.Fatalf("got %d metadata events, want 3", got)
+	}
+}
+
+func TestChromeWriterClosesDanglingSpans(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewChromeWriter(&buf)
+	w.Emit(Event{At: 5, CPU: 2, Kind: TxnBegin})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	doc := parseChrome(t, buf.Bytes())
+	spans := doc.byPh("X")
+	if len(spans) != 1 || spans[0]["name"] != "txn(truncated)" {
+		t.Fatalf("dangling begin not closed: %v", spans)
+	}
+}
+
+func TestChromeWriterRestartStartsNewSpan(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewChromeWriter(&buf)
+	w.Emit(Event{At: 5, CPU: 0, Kind: TxnBegin})
+	w.Emit(Event{At: 9, CPU: 0, Kind: TxnBegin}) // retry without explicit abort
+	w.Emit(Event{At: 12, CPU: 0, Kind: TxnCommit})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	doc := parseChrome(t, buf.Bytes())
+	if got := len(doc.byPh("X")); got != 2 {
+		t.Fatalf("got %d spans, want restart + commit = 2", got)
+	}
+}
+
+func TestTracerCapacity(t *testing.T) {
+	if got := New(16).Capacity(); got != 16 {
+		t.Fatalf("Capacity() = %d, want 16", got)
+	}
+	if got := New(0).Capacity(); got != 4096 {
+		t.Fatalf("clamped Capacity() = %d, want 4096", got)
+	}
+	var nilT *Tracer
+	if got := nilT.Capacity(); got != 0 {
+		t.Fatalf("nil Capacity() = %d, want 0", got)
+	}
+}

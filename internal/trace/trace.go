@@ -91,6 +91,13 @@ func (e Event) String() string {
 	return s
 }
 
+// Sink receives every event as it is recorded, in global simulated-time
+// order. Sinks stream: unlike the ring they see the whole run, so they back
+// the structured exporters (JSONL, Chrome trace).
+type Sink interface {
+	Emit(e Event)
+}
+
 // Tracer is a bounded ring buffer of events. The zero value is disabled;
 // construct with New. Recording into a full ring overwrites the oldest
 // events (the tail of a long run is what debugging needs).
@@ -99,6 +106,7 @@ type Tracer struct {
 	next  int
 	count uint64
 	byKnd [kindCount]uint64
+	sink  Sink
 }
 
 // New returns a tracer retaining the last capacity events.
@@ -109,6 +117,23 @@ func New(capacity int) *Tracer {
 	return &Tracer{ring: make([]Event, 0, capacity)}
 }
 
+// AttachSink streams subsequent events into s as they are recorded (in
+// addition to the ring). A nil sink detaches.
+func (t *Tracer) AttachSink(s Sink) {
+	if t == nil {
+		return
+	}
+	t.sink = s
+}
+
+// Capacity reports how many events the ring retains.
+func (t *Tracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	return cap(t.ring)
+}
+
 // Record appends an event.
 func (t *Tracer) Record(e Event) {
 	if t == nil {
@@ -117,6 +142,9 @@ func (t *Tracer) Record(e Event) {
 	t.count++
 	if int(e.Kind) < len(t.byKnd) {
 		t.byKnd[e.Kind]++
+	}
+	if t.sink != nil {
+		t.sink.Emit(e)
 	}
 	if len(t.ring) < cap(t.ring) {
 		t.ring = append(t.ring, e)

@@ -7,6 +7,9 @@
 #
 # The JSON records, per benchmark line: name, iterations, ns/op, and any
 # extra testing.ReportMetric values (simcycles, ns/simcycle, allocs/op...).
+# BenchmarkSimulatorThroughputObservability/{off,on} is the pair to watch
+# for observability cost: "off" guards that disabled instruments stay free,
+# "on" records the full instrument-set overhead.
 set -e
 cd "$(dirname "$0")/.."
 out="${1:-BENCH.json}"

@@ -58,7 +58,6 @@ func BenchmarkFig7Queue(b *testing.B) {
 // Figure 8: multiple-counter (coarse-grain/no-conflicts) at 16 processors.
 func BenchmarkFig8MultipleCounter(b *testing.B) {
 	for _, s := range []tlrsim.Scheme{tlrsim.Base, tlrsim.MCS, tlrsim.SLE, tlrsim.TLR} {
-		s := s
 		b.Run(s.String(), func(b *testing.B) {
 			benchWorkload(b, 16, s, func() tlrsim.Workload {
 				return tlrsim.Benchmarks.MultipleCounter(2048)
@@ -71,7 +70,6 @@ func BenchmarkFig8MultipleCounter(b *testing.B) {
 // including the TLR-strict-ts ablation.
 func BenchmarkFig9SingleCounter(b *testing.B) {
 	for _, s := range []tlrsim.Scheme{tlrsim.Base, tlrsim.MCS, tlrsim.SLE, tlrsim.TLR, tlrsim.TLRStrictTS} {
-		s := s
 		b.Run(s.String(), func(b *testing.B) {
 			benchWorkload(b, 16, s, func() tlrsim.Workload {
 				return tlrsim.Benchmarks.SingleCounter(1024)
@@ -84,7 +82,6 @@ func BenchmarkFig9SingleCounter(b *testing.B) {
 // processors.
 func BenchmarkFig10LinkedList(b *testing.B) {
 	for _, s := range []tlrsim.Scheme{tlrsim.Base, tlrsim.MCS, tlrsim.SLE, tlrsim.TLR} {
-		s := s
 		b.Run(s.String(), func(b *testing.B) {
 			benchWorkload(b, 16, s, func() tlrsim.Workload {
 				return tlrsim.Benchmarks.LinkedList(512)
@@ -109,9 +106,7 @@ func BenchmarkFig11Apps(b *testing.B) {
 		{"mp3d", func() tlrsim.Workload { return tlrsim.Benchmarks.MP3D(3072, false) }},
 	}
 	for _, app := range apps {
-		app := app
 		for _, s := range []tlrsim.Scheme{tlrsim.Base, tlrsim.TLR} {
-			s := s
 			b.Run(app.name+"/"+s.String(), func(b *testing.B) {
 				benchWorkload(b, 16, s, app.build)
 			})
@@ -130,7 +125,6 @@ func BenchmarkCoarseVsFine(b *testing.B) {
 		{"TLR-fine", tlrsim.TLR, false},
 		{"TLR-coarse", tlrsim.TLR, true},
 	} {
-		c := c
 		b.Run(c.name, func(b *testing.B) {
 			benchWorkload(b, 16, c.scheme, func() tlrsim.Workload {
 				return tlrsim.Benchmarks.MP3D(2048, c.coarse)
@@ -143,7 +137,6 @@ func BenchmarkCoarseVsFine(b *testing.B) {
 // collapsing predictor on the most predictor-sensitive kernel.
 func BenchmarkRMWPredictor(b *testing.B) {
 	for _, on := range []bool{false, true} {
-		on := on
 		name := "off"
 		if on {
 			name = "on"
@@ -188,7 +181,6 @@ func BenchmarkExperimentAll(b *testing.B) {
 		{"storebuf", func(o tlrsim.ExperimentOptions) error { _, err := tlrsim.StoreBufferEffect(o); return err }},
 	}
 	for _, jobs := range []int{1, 8} {
-		jobs := jobs
 		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
 			o := tlrsim.DefaultExperimentOptions()
 			o.Ops = 0.25
@@ -230,7 +222,6 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 // off-vs-on ns/simcycle ratio is the tracing overhead BENCH_<n>.json tracks.
 func BenchmarkSimulatorThroughputObservability(b *testing.B) {
 	for _, metrics := range []bool{false, true} {
-		metrics := metrics
 		name := "off"
 		if metrics {
 			name = "on"

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunSmokeShape(t *testing.T) {
+	code, out, _ := runCmd(t, "-cpus", "2", "-locs", "2", "-ops", "1", "-seeds", "2")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, frag := range []string{
+		"shape: 2 CPUs x 2 locs x <=1 ops, 2 seeds",
+		"36 raw tuples, 10 scheme-sensitive, 5 canonical",
+		"containment: OK",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-cpus", "5"},
+		{"-locs", "1"},
+		{"-ops", "0"},
+		{"-ops", "4"},
+		{"-seeds", "0"},
+		{"-definitely-not-a-flag"},
+	}
+	for _, args := range cases {
+		if code, _, _ := runCmd(t, args...); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}
+
+func TestShortCapsShape(t *testing.T) {
+	// -short caps ops at 2 and seeds at 4 regardless of what was asked.
+	code, out, _ := runCmd(t, "-short", "-ops", "3", "-seeds", "16", "-locs", "2")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "x <=2 ops, 4 seeds") {
+		t.Fatalf("-short did not cap the shape:\n%s", out)
+	}
+}
+
+func TestVerboseProgress(t *testing.T) {
+	code, _, errOut := runCmd(t, "-ops", "1", "-seeds", "1", "-v")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(errOut, "programs") {
+		t.Fatalf("no progress on stderr:\n%s", errOut)
+	}
+}

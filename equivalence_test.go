@@ -105,9 +105,7 @@ func TestExperimentReportEquivalence(t *testing.T) {
 		t.Skip("full experiment sweep; skipped in -short mode")
 	}
 	for _, seed := range equivalenceSeeds {
-		seed := seed
 		for _, format := range []string{"table", "csv"} {
-			format := format
 			t.Run(fmt.Sprintf("seed=%d/%s", seed, format), func(t *testing.T) {
 				t.Parallel()
 				got := runAllExperiments(t, seed, format == "csv")

@@ -31,7 +31,6 @@ func run(scheme tlrsim.Scheme) (finishes []uint64, counter uint64) {
 	ctr := m.Alloc.PaddedWord()
 	progs := make([]func(*tlrsim.TC), procs)
 	for i := range progs {
-		i := i
 		progs[i] = func(tc *tlrsim.TC) {
 			if i != 0 {
 				tc.Compute(5000) // let CPU 0 own the first critical section

@@ -229,23 +229,29 @@ func New(k *sim.Kernel, cfg Config) *Bus {
 }
 
 // Attach registers a controller under id for both snooping and data
-// delivery. The memory controller attaches as MemID.
+// delivery. The memory controller attaches as MemID. Dispatch order is
+// maintained incrementally as a sorted insert — ascending CPU ids, then
+// memory last — rather than rescanning a fixed id range per attach, which
+// made machine construction quadratic in noise for the many-tiny-machine
+// sweeps (litmus enumeration runs tens of thousands of 2-CPU machines).
 func (b *Bus) Attach(id int, s Snooper, r Receiver) {
 	if _, dup := b.snoopers[id]; dup {
 		panic(fmt.Sprintf("bus: duplicate controller id %d", id))
 	}
 	b.snoopers[id] = s
 	b.recvs[id] = r
-	// Rebuild dispatch order: ascending CPU ids, then memory.
-	b.order = b.order[:0]
-	for i := 0; i < 1024; i++ {
-		if _, ok := b.snoopers[i]; ok {
-			b.order = append(b.order, i)
+	pos := len(b.order)
+	if id != MemID {
+		for i, v := range b.order {
+			if v == MemID || v > id {
+				pos = i
+				break
+			}
 		}
 	}
-	if _, ok := b.snoopers[MemID]; ok {
-		b.order = append(b.order, MemID)
-	}
+	b.order = append(b.order, 0)
+	copy(b.order[pos+1:], b.order[pos:])
+	b.order[pos] = id
 }
 
 // Stats returns accumulated interconnect counters.

@@ -21,6 +21,68 @@ import (
 	"tlrsim/internal/memsys"
 )
 
+// Kind classifies a violation: which contract the timing model broke.
+type Kind int
+
+const (
+	// TxnReadStale: a committed transaction read a value that no longer
+	// matches the architectural state at its commit point (lost update or
+	// broken conflict detection).
+	TxnReadStale Kind = iota
+	// LoadIncoherent: a non-speculative load observed something other than
+	// the last architecturally completed store.
+	LoadIncoherent
+	// RMWStale: an atomic read-modify-write observed a stale old value.
+	RMWStale
+)
+
+// String names the kind for violation messages.
+func (k Kind) String() string {
+	switch k {
+	case TxnReadStale:
+		return "txn-read-stale"
+	case LoadIncoherent:
+		return "load-incoherent"
+	case RMWStale:
+		return "rmw-stale"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Violation is one structural divergence record: enough machine-readable
+// context (which CPU, which word, observed vs architectural value, which
+// commit) for a harness to triage programmatically instead of parsing error
+// strings.
+type Violation struct {
+	Kind Kind
+	CPU  int
+	Addr memsys.Addr
+	// Got is the value the timing model produced; Want the architectural
+	// (shadow) value it should have been.
+	Got  uint64
+	Want uint64
+	// Txn is the commit ordinal for TxnReadStale violations, 0 otherwise.
+	Txn uint64
+}
+
+// String renders the violation for error messages.
+func (v Violation) String() string {
+	switch v.Kind {
+	case TxnReadStale:
+		return fmt.Sprintf("P%d commit #%d: read %s = %d, architectural value is %d",
+			v.CPU, v.Txn, v.Addr, v.Got, v.Want)
+	case LoadIncoherent:
+		return fmt.Sprintf("P%d plain load %s = %d, architectural value is %d",
+			v.CPU, v.Addr, v.Got, v.Want)
+	case RMWStale:
+		return fmt.Sprintf("P%d RMW %s observed %d, architectural value is %d",
+			v.CPU, v.Addr, v.Got, v.Want)
+	default:
+		return fmt.Sprintf("P%d %s %s got %d want %d", v.CPU, v.Kind, v.Addr, v.Got, v.Want)
+	}
+}
+
 // Checker is the shadow-memory validator. The zero value is not usable;
 // construct with New. The simulator is single-threaded, so Checker needs no
 // locking.
@@ -29,7 +91,8 @@ type Checker struct {
 
 	txns       uint64
 	plainOps   uint64
-	violations []string
+	violations []Violation
+	dropped    int // violations beyond the retention limit (counted, not kept)
 	limit      int
 	scratch    []memsys.Addr // reusable sort buffer for commit validation
 }
@@ -52,8 +115,7 @@ func (c *Checker) CommitTxn(cpu int, reads, writes map[memsys.Addr]uint64) {
 	for _, a := range c.sortedAddrs(reads) {
 		v := reads[a]
 		if got := c.shadow[a]; got != v {
-			c.report("P%d commit #%d: read %s = %d, architectural value is %d",
-				cpu, c.txns, a, v, got)
+			c.report(Violation{Kind: TxnReadStale, CPU: cpu, Addr: a, Got: v, Want: got, Txn: c.txns})
 		}
 	}
 	for a, v := range writes {
@@ -75,7 +137,7 @@ func (c *Checker) PlainLoad(cpu int, a memsys.Addr, v uint64, forwarded bool) {
 		return
 	}
 	if got := c.shadow[a]; got != v {
-		c.report("P%d plain load %s = %d, architectural value is %d", cpu, a, v, got)
+		c.report(Violation{Kind: LoadIncoherent, CPU: cpu, Addr: a, Got: v, Want: got})
 	}
 }
 
@@ -91,25 +153,32 @@ func (c *Checker) PlainStore(cpu int, a memsys.Addr, v uint64) {
 func (c *Checker) PlainRMW(cpu int, a memsys.Addr, old, new uint64, wrote bool) {
 	c.plainOps++
 	if got := c.shadow[a]; got != old {
-		c.report("P%d RMW %s observed %d, architectural value is %d", cpu, a, old, got)
+		c.report(Violation{Kind: RMWStale, CPU: cpu, Addr: a, Got: old, Want: got})
 	}
 	if wrote {
 		c.shadow[a] = new
 	}
 }
 
-func (c *Checker) report(format string, args ...any) {
+func (c *Checker) report(v Violation) {
 	if len(c.violations) < c.limit {
-		c.violations = append(c.violations, fmt.Sprintf(format, args...))
+		c.violations = append(c.violations, v)
+	} else {
+		c.dropped++
 	}
 }
 
-// Err returns the accumulated violations, or nil.
+// Violations returns the retained violation records (at most the retention
+// limit; the total including dropped ones is reflected in Err).
+func (c *Checker) Violations() []Violation { return c.violations }
+
+// Err summarises the accumulated violations as an error, or nil.
 func (c *Checker) Err() error {
 	if len(c.violations) == 0 {
 		return nil
 	}
-	return fmt.Errorf("checker: %d violation(s), first: %s", len(c.violations), c.violations[0])
+	return fmt.Errorf("checker: %d violation(s), first: %s",
+		len(c.violations)+c.dropped, c.violations[0])
 }
 
 // Stats reports how much the checker has validated.

@@ -40,6 +40,14 @@ func TestStaleReadDetected(t *testing.T) {
 	if !strings.Contains(err.Error(), "architectural value is 5") {
 		t.Fatalf("unhelpful error: %v", err)
 	}
+	vs := c.Violations()
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v, want 1 record", vs)
+	}
+	want := Violation{Kind: TxnReadStale, CPU: 1, Addr: 0x100, Got: 4, Want: 5, Txn: 2}
+	if vs[0] != want {
+		t.Fatalf("violation = %+v, want %+v", vs[0], want)
+	}
 }
 
 func TestPreloadSeedsShadow(t *testing.T) {
@@ -63,6 +71,10 @@ func TestPlainOpsValidate(t *testing.T) {
 	if c.Err() == nil {
 		t.Fatal("incoherent plain load not detected")
 	}
+	want := Violation{Kind: LoadIncoherent, CPU: 1, Addr: 0x300, Got: 9, Want: 7}
+	if vs := c.Violations(); len(vs) != 1 || vs[0] != want {
+		t.Fatalf("violations = %+v, want [%+v]", vs, want)
+	}
 }
 
 func TestPlainRMW(t *testing.T) {
@@ -78,6 +90,9 @@ func TestPlainRMW(t *testing.T) {
 	if c.Err() == nil {
 		t.Fatal("stale RMW not detected")
 	}
+	if vs := c.Violations(); len(vs) != 1 || vs[0].Kind != RMWStale || vs[0].Want != 11 {
+		t.Fatalf("violations = %+v, want one RMWStale with Want=11", vs)
+	}
 }
 
 func TestViolationLimitBounded(t *testing.T) {
@@ -86,11 +101,11 @@ func TestViolationLimitBounded(t *testing.T) {
 		c.PlainLoad(0, 0x500, uint64(i)+1, false)
 	}
 	err := c.Err()
-	if err == nil || !strings.Contains(err.Error(), "violation(s)") {
-		t.Fatalf("err = %v", err)
+	if err == nil || !strings.Contains(err.Error(), "100 violation(s)") {
+		t.Fatalf("err = %v, want the full count with retention bounded", err)
 	}
-	if len(c.violations) > c.limit {
-		t.Fatalf("violations unbounded: %d", len(c.violations))
+	if len(c.Violations()) > c.limit {
+		t.Fatalf("violations unbounded: %d", len(c.Violations()))
 	}
 }
 

@@ -165,6 +165,10 @@ func (c *Controller) Snoop(t *bus.Txn, owner int, shared bool) {
 	if l == nil || l.Masked {
 		// Masked: lame-duck supplier for an earlier deferral; later
 		// requests chain at the pending owner of record, not here.
+		// Timestamp order against such chained requests is enforced by the
+		// probe machinery: the pending owner forwards the requester's
+		// timestamp upstream (chainAtPending → probeUpstream) and we
+		// re-resolve on delivery (deliverProbe).
 		return
 	}
 	// Plain sharer.
@@ -307,6 +311,19 @@ func (c *Controller) chainAtPending(m *mshr, t *bus.Txn) {
 				c.probeUpstream(m, t.Stamp)
 			}
 		}
+	} else if t.Stamp.Valid {
+		// Non-transactional pending owner: we hold no stamp to compare,
+		// but a transactional requester now waits behind us, and our own
+		// request may be deferred at a speculating holder that has never
+		// seen this timestamp (untimestamped requests are deferred as
+		// carrying the latest timestamp in the system, §2.2 — the holder
+		// resolved against US, not against whoever chains behind us).
+		// Forward the probe so the data holder re-resolves against the
+		// real timestamp. Without it the cycle of Figure 6 re-appears with
+		// a plain access as the middle link: the holder defers us and
+		// blocks on a line owned by the probing transaction, the probing
+		// transaction waits behind us, and nobody advances.
+		c.probeUpstream(m, t.Stamp)
 	}
 }
 

@@ -172,7 +172,6 @@ func TestQueuedTransfer(t *testing.T) {
 	k, s := rig(4, core.DefaultPolicy())
 	commits := make([]*bool, 4)
 	for i, c := range s.Ctrls {
-		i, c := i, c
 		d := new(bool)
 		commits[i] = d
 		// Stagger the starts by a few cycles so the requests are all in
@@ -250,6 +249,63 @@ func TestMarkerProbeBreaksCycle(t *testing.T) {
 	k.RunUntil(s.Quiescent)
 	if v := s.ArchWord(lineB); v != 5 {
 		t.Fatalf("B = %d, want P0's 5", v)
+	}
+	if err := s.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProbeThroughPlainPendingOwner reproduces the Figure 6 cycle with a
+// plain (non-transactional) access as the middle link — the shape the
+// litmus enumerator found deadlocking at three CPUs. P0 spec-owns A and
+// defers P1's request; P1 spec-owns B and defers P2's PLAIN store
+// (untimestamped requests are deferred as carrying the latest timestamp in
+// the system), making P2 the pending owner of record for B with no
+// transaction and no timestamp. P0 then requests B and chains behind P2.
+// P2 cannot resolve the conflict itself; it must forward P0's probe
+// upstream so the data holder P1 re-resolves against the real timestamp:
+// P1 loses, B drains through P2 to P0, and P0 commits. Without the
+// forwarding, P1 waits on P0 (its A-miss is deferred) while P0 waits on P1
+// (through the chain at P2) — deadlock.
+func TestProbeThroughPlainPendingOwner(t *testing.T) {
+	pol := core.DefaultPolicy()
+	pol.StrictTimestamps = true // the relaxation would legitimately avoid the cycle
+	k, s := rig(3, pol)
+	p0, p1, p2 := s.Ctrls[0], s.Ctrls[1], s.Ctrls[2]
+
+	begin(p0)
+	begin(p1)
+	specStore(t, p0, lineA, 1)
+	specStore(t, p1, lineB, 2)
+	k.RunUntil(s.Quiescent)
+
+	// P1 requests A -> P0 (earlier) defers; P1 is blocked on its miss.
+	specStore(t, p1, lineA, 3)
+	k.RunUntil(func() bool { return p0.Engine().Stats().Deferrals == 1 })
+
+	// P2 plain-stores B -> P1 defers the untimestamped request; P2 becomes
+	// pending owner of record.
+	p2done := false
+	p2.Store(lineB, 4, func(_ uint64, _ bool) { p2done = true })
+	k.RunUntil(func() bool { return p1.Engine().Stats().Deferrals == 1 })
+
+	// P0 requests B -> chains behind P2, which forwards the probe to P1.
+	specStore(t, p0, lineB, 5)
+	d0, ok0 := asyncCommit(p0)
+	k.RunUntil(func() bool { return *d0 })
+	if !*ok0 {
+		t.Fatal("P0 must commit — the cycle was not broken")
+	}
+	if p0.Engine().Stats().TotalAborts() != 0 {
+		t.Fatal("P0 (earliest timestamp) must never restart")
+	}
+	if p1.Engine().Stats().AbortsFor(core.ReasonProbe) != 1 {
+		t.Fatalf("P1 should be restarted by a probe, aborts %v", p1.Engine().Stats().Aborts)
+	}
+	k.RunUntil(func() bool { return p2done })
+	k.RunUntil(s.Quiescent)
+	if v := s.ArchWord(lineB); v != 5 {
+		t.Fatalf("B = %d, want 5 (P0's commit orders after P2's plain store)", v)
 	}
 	if err := s.CheckCoherence(); err != nil {
 		t.Fatal(err)

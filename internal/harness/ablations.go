@@ -35,7 +35,6 @@ func NackVsDeferral(o Options) (*Result, error) {
 	var points []point
 	for li, nack := range []bool{false, true} {
 		for _, p := range o.Procs {
-			nack := nack
 			points = append(points, point{
 				label: fmt.Sprintf("%s procs=%d", labels[li], p),
 				cfg: policyConfig(o, p, func(c *proc.Config) {
@@ -76,7 +75,6 @@ func DeferredQueueSweep(o Options) (*Result, error) {
 	sizes := []int{1, 2, 4, 8, 16}
 	var points []point
 	for _, size := range sizes {
-		size := size
 		points = append(points, point{
 			label: fmt.Sprintf("size=%d", size),
 			cfg: policyConfig(o, procs, func(c *proc.Config) {
@@ -111,7 +109,6 @@ func VictimCacheSweep(o Options) (*Result, error) {
 	entrySet := []int{0, 4, 16}
 	var points []point
 	for _, entries := range entrySet {
-		entries := entries
 		points = append(points, point{
 			label: fmt.Sprintf("victim=%d", entries),
 			cfg: policyConfig(o, procs, func(c *proc.Config) {
@@ -148,7 +145,6 @@ func RestartPenaltySweep(o Options) (*Result, error) {
 	penalties := []uint64{1, 10, 100, 1000}
 	var points []point
 	for _, pen := range penalties {
-		pen := pen
 		points = append(points, point{
 			label: fmt.Sprintf("penalty=%d", pen),
 			cfg: policyConfig(o, procs, func(c *proc.Config) {

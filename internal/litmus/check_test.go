@@ -1,0 +1,164 @@
+package litmus
+
+import (
+	"strings"
+	"testing"
+
+	"tlrsim/internal/proc"
+)
+
+// TestCheckOutcomesFlagsMutants seeds the containment assertion with
+// fabricated outcomes and verifies it fires: outcomes inside the locked set
+// pass, any mutation (a load value no store produces, a wrong final memory
+// word) escapes.
+func TestCheckOutcomesFlagsMutants(t *testing.T) {
+	p := progSB(true)
+	locked := ReferenceOutcomes(p)
+	if escaped := CheckOutcomes(p, locked); len(escaped) != 0 {
+		t.Fatalf("reference outcomes escaped their own set: %v", escaped)
+	}
+	mutants := []string{
+		"P0=[9] P1=[1] m=[1 9]", // both sections observed each other: not serializable
+		"P0=[0] P1=[0] m=[1 9]", // relaxed SB outcome the lock forbids
+		"P0=[0] P1=[1] m=[1 0]", // lost final store
+		"P0=[7] P1=[1] m=[1 9]", // load value no store wrote
+	}
+	escaped := CheckOutcomes(p, mutants)
+	if len(escaped) != len(mutants) {
+		t.Fatalf("CheckOutcomes caught %d of %d mutants: %v", len(escaped), len(mutants), escaped)
+	}
+}
+
+// TestFaultInjectionEndToEnd simulates an elision bug that silently drops
+// mutual exclusion: the machine runs the program with its critical windows
+// stripped, while the reference set is computed for the locked program. The
+// containment check must catch the machine producing a behaviour the locked
+// program cannot, and the divergence must render as a reproducer test.
+func TestFaultInjectionEndToEnd(t *testing.T) {
+	locked := progSB(true)
+	broken := stripCrits(locked)
+	var divs []Divergence
+	// The dropped lock only shows when the two windows actually overlap, so
+	// the perturbation sweep includes tight start jitters that keep the
+	// threads near-simultaneous alongside the default wide spread.
+	for _, pt := range []Perturb{{StartJitter: 1}, {StartJitter: 32}, DefaultPerturb} {
+		for _, seed := range DefaultSeeds {
+			out, err := Run(broken, proc.Base, seed, pt)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if escaped := CheckOutcomes(locked, []string{out}); len(escaped) != 0 {
+				divs = append(divs, Divergence{
+					Prog: locked, Scheme: proc.Base, Seed: seed,
+					Outcome: out, Locked: ReferenceOutcomes(locked),
+				})
+			}
+		}
+	}
+	if len(divs) == 0 {
+		t.Fatal("no escape detected: the containment check cannot see a dropped lock")
+	}
+
+	// The emitted reproducer must pin the full failing configuration.
+	src := divs[0].GoTest("TestLitmusRepro1")
+	for _, frag := range []string{
+		"func TestLitmusRepro1(t *testing.T) {",
+		"Program{NumLocs: 2,",
+		"CritLo: 0, CritHi: 2",
+		"proc.Base",
+		"CheckOutcomes",
+		divs[0].Outcome,
+	} {
+		if !strings.Contains(src, frag) {
+			t.Fatalf("reproducer missing %q:\n%s", frag, src)
+		}
+	}
+}
+
+// TestCheckSmokeShape runs the real containment sweep over the smallest
+// interesting shape and requires a clean report with coherent accounting.
+func TestCheckSmokeShape(t *testing.T) {
+	opts := Options{
+		Shape: Shape{CPUs: 2, Locs: 2, MaxOps: 1},
+		Seeds: []int64{1, 2},
+	}
+	rep := Check(opts)
+	if !rep.Ok() {
+		t.Fatalf("divergences on the smoke shape: %v", rep.Divergences)
+	}
+	if rep.Programs != 5 {
+		t.Fatalf("programs = %d, want 5", rep.Programs)
+	}
+	wantRuns := rep.Programs * len(DefaultSchemes) * len(opts.Seeds)
+	if rep.Runs != wantRuns {
+		t.Fatalf("runs = %d, want %d", rep.Runs, wantRuns)
+	}
+	if rep.RefOutcomes == 0 || rep.ObservedOutcomes == 0 {
+		t.Fatalf("empty accounting: %+v", rep)
+	}
+}
+
+// TestCheckReportsDeterministically runs the same sweep twice with different
+// worker counts: the report must be identical — divergence order is defined
+// by enumeration order, not host scheduling.
+func TestCheckReportsDeterministically(t *testing.T) {
+	opts := Options{Shape: Shape{CPUs: 2, Locs: 2, MaxOps: 1}, Seeds: []int64{1, 2, 3}}
+	a := Check(opts)
+	opts.Jobs = 4
+	b := Check(opts)
+	if a.Runs != b.Runs || a.RefOutcomes != b.RefOutcomes ||
+		a.ObservedOutcomes != b.ObservedOutcomes || a.TotalDivergences != b.TotalDivergences {
+		t.Fatalf("reports differ across worker counts:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestMaskedChainDeadlockRegression pins the protocol deadlock the 3-CPU
+// sweep found (and cmd/tlrlitmus now guards in CI): P1 defers P2's
+// untimestamped store and becomes a masked holder of y; P0's
+// earlier-timestamped request for y chains at the pending owner of record
+// (P2), so P1 never saw a stamp to compare against; P1's own miss on x was
+// deferred by P0 — a three-party cycle the timestamp order existed to
+// prevent. The coherence fix makes the masked holder observe chained
+// requests: blocked and later, it loses, and the chain drains.
+func TestMaskedChainDeadlockRegression(t *testing.T) {
+	p := Program{NumLocs: 2, Threads: []Thread{
+		{Ops: []Op{{Kind: Store, Loc: 0}, {Kind: Load, Loc: 1}}, CritLo: 0, CritHi: 2},
+		{Ops: []Op{{Kind: Store, Loc: 0}, {Kind: Store, Loc: 1}}, CritLo: 0, CritHi: 2},
+		{Ops: []Op{{Kind: Store, Loc: 1}, {Kind: Store, Loc: 1}}, CritLo: 0, CritHi: 1},
+	}}
+	for _, scheme := range DefaultSchemes {
+		for _, seed := range DefaultSeeds {
+			out, err := Run(p, scheme, seed, DefaultPerturb)
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", scheme, seed, err)
+			}
+			if escaped := CheckOutcomes(p, []string{out}); len(escaped) != 0 {
+				t.Fatalf("%v seed %d: outcome %q outside locked set %v",
+					scheme, seed, out, ReferenceOutcomes(p))
+			}
+		}
+	}
+}
+
+// TestRunLeavesLockFree: every litmus run must end with the lock word
+// released; Run checks this itself, so a healthy program returning no error
+// is the assertion.
+func TestRunAgreesWithReferenceOnLockedProgram(t *testing.T) {
+	// The machine's BASE execution of a locked program must land inside the
+	// analytic locked set — the cross-check that the timing model and the
+	// abstract model agree on lock semantics.
+	p := Program{NumLocs: 2, Threads: []Thread{
+		{Ops: []Op{{Store, 0}, {Store, 1}}, CritLo: 0, CritHi: 2},
+		{Ops: []Op{{Load, 1}, {Load, 0}}, CritLo: 0, CritHi: 2},
+	}}
+	for _, seed := range DefaultSeeds {
+		out, err := Run(p, proc.Base, seed, DefaultPerturb)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if escaped := CheckOutcomes(p, []string{out}); len(escaped) != 0 {
+			t.Fatalf("seed %d: BASE outcome %q outside the locked reference set %v",
+				seed, out, ReferenceOutcomes(p))
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package litmus
+
+import (
+	"sort"
+
+	"tlrsim/internal/proc"
+)
+
+// Reference model: the complete outcome set of the LOCK-BASED program under
+// the machine's memory model (TSO with per-thread FIFO store buffers,
+// store->load forwarding, fencing atomics, and a test&test&set lock whose
+// release is a plain buffered store — exactly the semantics of
+// internal/coherence's store buffer and internal/locks' TTS lock).
+//
+// The set is computed by exhaustive interleaving search, so it is the full
+// architectural envelope, not a sample: every schedule, every store-buffer
+// drain point. Containment against this set is therefore sound in the
+// direction that matters — an elided outcome outside it is a genuine new
+// behaviour — and free of the false positives a dynamically-explored
+// lock-based baseline would produce when a seed sweep under-explores.
+//
+// The model over-approximates only where over-approximation is safe: it
+// allows any drain schedule the FIFO discipline admits, including ones the
+// timing simulator's concrete latencies would never produce.
+
+// micro-op kinds of the expanded thread program.
+type mopKind uint8
+
+const (
+	mLoad mopKind = iota
+	mStore
+	mAcquire // fenced atomic lock acquisition (enabled when lock word free)
+	mRelease // plain buffered store of 0 to the lock word
+)
+
+type mop struct {
+	kind mopKind
+	loc  int8 // data location, or lockLoc
+	val  uint64
+}
+
+// lockLoc is the lock word's location index inside the model.
+const lockLoc int8 = -1
+
+// sbEntry is one store-buffer entry.
+type sbEntry struct {
+	loc int8
+	val uint64
+}
+
+// refState is one node of the interleaving search.
+type refState struct {
+	pc    []int       // next micro-op per thread
+	bufs  [][]sbEntry // FIFO store buffer per thread
+	mem   []uint64    // data locations
+	lock  uint64      // lock word's memory value
+	loads [][]uint64  // values observed so far, per thread
+}
+
+// ReferenceOutcomes returns the sorted outcome set of the lock-based
+// program: every FormatOutcome string a TSO execution respecting the lock
+// can produce.
+func ReferenceOutcomes(p Program) []string {
+	mops := make([][]mop, len(p.Threads))
+	for ti, t := range p.Threads {
+		mops[ti] = expandThread(ti, t)
+	}
+	init := refState{
+		pc:    make([]int, len(p.Threads)),
+		bufs:  make([][]sbEntry, len(p.Threads)),
+		mem:   make([]uint64, p.NumLocs),
+		loads: make([][]uint64, len(p.Threads)),
+	}
+	outcomes := map[string]struct{}{}
+	visited := map[string]struct{}{}
+	explore(mops, init, visited, outcomes)
+	out := make([]string, 0, len(outcomes))
+	for o := range outcomes {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// expandThread compiles a thread into micro-ops: its data ops plus the lock
+// acquire/release brackets around the critical window.
+func expandThread(tid int, t Thread) []mop {
+	var out []mop
+	for i, o := range t.Ops {
+		if t.HasCrit() && i == int(t.CritLo) {
+			out = append(out, mop{kind: mAcquire})
+		}
+		if o.Kind == Load {
+			out = append(out, mop{kind: mLoad, loc: int8(o.Loc)})
+		} else {
+			out = append(out, mop{kind: mStore, loc: int8(o.Loc), val: StoreVal(tid, i)})
+		}
+		if t.HasCrit() && i == int(t.CritHi)-1 {
+			out = append(out, mop{kind: mRelease})
+		}
+	}
+	return out
+}
+
+// explore walks every enabled step from s. Steps per thread: execute its
+// next micro-op (if enabled), or drain the oldest entry of its store buffer.
+func explore(mops [][]mop, s refState, visited, outcomes map[string]struct{}) {
+	k := s.encode()
+	if _, seen := visited[k]; seen {
+		return
+	}
+	visited[k] = struct{}{}
+
+	terminal := true
+	for ti := range mops {
+		// Drain step.
+		if len(s.bufs[ti]) > 0 {
+			terminal = false
+			explore(mops, s.drain(ti), visited, outcomes)
+		}
+		// Execute step.
+		if s.pc[ti] >= len(mops[ti]) {
+			continue
+		}
+		terminal = false
+		m := mops[ti][s.pc[ti]]
+		switch m.kind {
+		case mLoad:
+			v, fwd := forward(s.bufs[ti], m.loc)
+			if !fwd {
+				v = s.mem[m.loc]
+			}
+			explore(mops, s.step(ti, func(n *refState) {
+				n.loads[ti] = append(n.loads[ti], v)
+			}), visited, outcomes)
+		case mStore:
+			explore(mops, s.step(ti, func(n *refState) {
+				n.bufs[ti] = append(n.bufs[ti], sbEntry{m.loc, m.val})
+			}), visited, outcomes)
+		case mAcquire:
+			// Atomics fence: the buffer must have drained (drain steps get
+			// the search there), and the lock word must be free in memory.
+			if len(s.bufs[ti]) == 0 && s.lock == 0 {
+				explore(mops, s.step(ti, func(n *refState) {
+					n.lock = 1
+				}), visited, outcomes)
+			}
+		case mRelease:
+			explore(mops, s.step(ti, func(n *refState) {
+				n.bufs[ti] = append(n.bufs[ti], sbEntry{lockLoc, 0})
+			}), visited, outcomes)
+		}
+	}
+	if terminal {
+		outcomes[proc.FormatOutcome(s.loads, s.mem)] = struct{}{}
+	}
+}
+
+// forward returns the newest buffered value for loc, if any (TSO
+// store->load forwarding).
+func forward(buf []sbEntry, loc int8) (uint64, bool) {
+	for i := len(buf) - 1; i >= 0; i-- {
+		if buf[i].loc == loc {
+			return buf[i].val, true
+		}
+	}
+	return 0, false
+}
+
+// drain returns s with thread ti's oldest buffered store applied to memory.
+func (s refState) drain(ti int) refState {
+	n := s.clone()
+	e := n.bufs[ti][0]
+	n.bufs[ti] = append([]sbEntry(nil), n.bufs[ti][1:]...)
+	if e.loc == lockLoc {
+		n.lock = e.val
+	} else {
+		n.mem[e.loc] = e.val
+	}
+	return n
+}
+
+// step returns s with thread ti's pc advanced and mutate applied.
+func (s refState) step(ti int, mutate func(*refState)) refState {
+	n := s.clone()
+	n.pc[ti]++
+	mutate(&n)
+	return n
+}
+
+func (s refState) clone() refState {
+	n := refState{
+		pc:    append([]int(nil), s.pc...),
+		bufs:  make([][]sbEntry, len(s.bufs)),
+		mem:   append([]uint64(nil), s.mem...),
+		lock:  s.lock,
+		loads: make([][]uint64, len(s.loads)),
+	}
+	for i, b := range s.bufs {
+		n.bufs[i] = append([]sbEntry(nil), b...)
+	}
+	for i, l := range s.loads {
+		n.loads[i] = append([]uint64(nil), l...)
+	}
+	return n
+}
+
+// encode renders the state as a visited-set key.
+func (s refState) encode() string {
+	b := make([]byte, 0, 48)
+	for i, pc := range s.pc {
+		b = append(b, byte(pc), '|')
+		for _, e := range s.bufs[i] {
+			b = append(b, byte(e.loc+1), byte(e.val))
+		}
+		b = append(b, '|')
+		for _, v := range s.loads[i] {
+			b = append(b, byte(v))
+		}
+		b = append(b, '#')
+	}
+	for _, v := range s.mem {
+		b = append(b, byte(v))
+	}
+	b = append(b, byte(s.lock))
+	return string(b)
+}

@@ -1,0 +1,130 @@
+package litmus
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Classic litmus shapes with hand-derived outcome sets pin the reference
+// model's memory semantics: TSO (store buffers, FIFO drain, store->load
+// forwarding) with a fencing lock acquire and a buffered release.
+
+func progSB(critted bool) Program {
+	// Store buffering: P0: Sx Ly | P1: Sy Lx. Store values: x=1, y=9.
+	var hi uint8
+	if critted {
+		hi = 2
+	}
+	return Program{NumLocs: 2, Threads: []Thread{
+		{Ops: []Op{{Store, 0}, {Load, 1}}, CritHi: hi},
+		{Ops: []Op{{Store, 1}, {Load, 0}}, CritHi: hi},
+	}}
+}
+
+func TestReferenceStoreBufferingUnlocked(t *testing.T) {
+	// Without locks TSO admits all four combinations, including the relaxed
+	// both-loads-see-zero outcome SC forbids. This is the canary that the
+	// model is TSO, not sequential consistency.
+	got := ReferenceOutcomes(progSB(false))
+	want := []string{
+		"P0=[0] P1=[0] m=[1 9]",
+		"P0=[0] P1=[1] m=[1 9]",
+		"P0=[9] P1=[0] m=[1 9]",
+		"P0=[9] P1=[1] m=[1 9]",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("unlocked SB outcomes = %v, want %v", got, want)
+	}
+}
+
+func TestReferenceStoreBufferingLocked(t *testing.T) {
+	// Fully critted, the two sections serialize: whichever thread enters
+	// second observes the first thread's store, and the first thread —
+	// running before the second has stored anything — observes zero. Both
+	// both-zero and both-nonzero are excluded.
+	got := ReferenceOutcomes(progSB(true))
+	want := []string{
+		"P0=[0] P1=[1] m=[1 9]",
+		"P0=[9] P1=[0] m=[1 9]",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("locked SB outcomes = %v, want %v", got, want)
+	}
+}
+
+func TestReferenceMessagePassingFIFO(t *testing.T) {
+	// P0: Sx Sy | P1: Ly Lx, unlocked. Store values: x=1, y=2. The store
+	// buffer drains in FIFO order, so observing y=2 implies x=1 is visible:
+	// (2, 0) must be absent.
+	p := Program{NumLocs: 2, Threads: []Thread{
+		{Ops: []Op{{Store, 0}, {Store, 1}}},
+		{Ops: []Op{{Load, 1}, {Load, 0}}},
+	}}
+	got := ReferenceOutcomes(p)
+	want := []string{
+		"P0=[] P1=[0 0] m=[1 2]",
+		"P0=[] P1=[0 1] m=[1 2]",
+		"P0=[] P1=[2 1] m=[1 2]",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("MP outcomes = %v, want %v", got, want)
+	}
+}
+
+func TestReferenceMessagePassingLocked(t *testing.T) {
+	// Both threads fully critted: strict serialization leaves exactly the
+	// two section orders.
+	p := Program{NumLocs: 2, Threads: []Thread{
+		{Ops: []Op{{Store, 0}, {Store, 1}}, CritLo: 0, CritHi: 2},
+		{Ops: []Op{{Load, 1}, {Load, 0}}, CritLo: 0, CritHi: 2},
+	}}
+	got := ReferenceOutcomes(p)
+	want := []string{
+		"P0=[] P1=[0 0] m=[1 2]",
+		"P0=[] P1=[2 1] m=[1 2]",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("locked MP outcomes = %v, want %v", got, want)
+	}
+}
+
+func TestReferenceStoreLoadForwarding(t *testing.T) {
+	// A thread reading its own buffered store must see it (TSO forwarding),
+	// even though memory still holds zero at that point.
+	p := Program{NumLocs: 1, Threads: []Thread{
+		{Ops: []Op{{Store, 0}, {Load, 0}}},
+	}}
+	got := ReferenceOutcomes(p)
+	want := []string{"P0=[1] m=[1]"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("forwarding outcomes = %v, want %v", got, want)
+	}
+}
+
+// The locked outcome set is always a subset of the unlocked one: adding
+// mutual exclusion can only remove interleavings. Checked across every
+// canonical program of the smoke shape by stripping crit windows.
+func TestReferenceLockingOnlyRestricts(t *testing.T) {
+	progs, _ := Enumerate(Shape{CPUs: 2, Locs: 2, MaxOps: 2})
+	for _, p := range progs {
+		unlocked := stripCrits(p)
+		free := map[string]struct{}{}
+		for _, o := range ReferenceOutcomes(unlocked) {
+			free[o] = struct{}{}
+		}
+		for _, o := range ReferenceOutcomes(p) {
+			if _, ok := free[o]; !ok {
+				t.Fatalf("%s: locked outcome %q not admitted without locks", p, o)
+			}
+		}
+	}
+}
+
+// stripCrits returns the program with every critical window removed.
+func stripCrits(p Program) Program {
+	q := Program{NumLocs: p.NumLocs, Threads: make([]Thread, len(p.Threads))}
+	for i, t := range p.Threads {
+		q.Threads[i] = Thread{Ops: t.Ops}
+	}
+	return q
+}

@@ -1,0 +1,83 @@
+package litmus
+
+import (
+	"fmt"
+	"strings"
+
+	"tlrsim/internal/proc"
+)
+
+// Reproducer printer: any divergence is emitted as a minimal, ready-to-paste
+// Go test against this package's exported API, so a protocol bug found by
+// the enumerator becomes a committed regression test in one copy-paste.
+
+// GoTest renders the divergence as a self-contained test function for
+// package litmus. The emitted test pins the exact (program, scheme, seed,
+// perturbation) that diverged and re-asserts outcome-set containment.
+func (d Divergence) GoTest(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// %s reproduces a litmus containment divergence found by the\n", name)
+	fmt.Fprintf(&b, "// enumerator: %s\n", d.Prog)
+	if d.Err != nil {
+		fmt.Fprintf(&b, "// The run failed under %v seed %d: %v\n", d.Scheme, d.Seed, d.Err)
+	} else {
+		fmt.Fprintf(&b, "// Under %v seed %d the machine produced %q,\n", d.Scheme, d.Seed, d.Outcome)
+		fmt.Fprintf(&b, "// which the lock-based reference set does not admit.\n")
+	}
+	fmt.Fprintf(&b, "func %s(t *testing.T) {\n", name)
+	fmt.Fprintf(&b, "\tp := %s\n", d.Prog.GoLiteral("\t"))
+	fmt.Fprintf(&b, "\tpt := Perturb{StartJitter: %d, ArbJitter: %d}\n",
+		DefaultPerturb.StartJitter, DefaultPerturb.ArbJitter)
+	fmt.Fprintf(&b, "\tout, err := Run(p, proc.%s, %d, pt)\n", schemeIdent(d.Scheme), d.Seed)
+	b.WriteString("\tif err != nil {\n\t\tt.Fatalf(\"run failed: %v\", err)\n\t}\n")
+	b.WriteString("\tif escaped := CheckOutcomes(p, []string{out}); len(escaped) != 0 {\n")
+	b.WriteString("\t\tt.Fatalf(\"elided outcome %q not in locked set %v\", escaped[0], ReferenceOutcomes(p))\n")
+	b.WriteString("\t}\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// GoLiteral renders the program as Go source (indent prefixes continuation
+// lines).
+func (p Program) GoLiteral(indent string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Program{NumLocs: %d, Threads: []Thread{\n", p.NumLocs)
+	for _, t := range p.Threads {
+		b.WriteString(indent + "\t{Ops: []Op{")
+		for j, o := range t.Ops {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			kind := "Load"
+			if o.Kind == Store {
+				kind = "Store"
+			}
+			fmt.Fprintf(&b, "{Kind: %s, Loc: %d}", kind, o.Loc)
+		}
+		b.WriteString("}")
+		if t.HasCrit() {
+			fmt.Fprintf(&b, ", CritLo: %d, CritHi: %d", t.CritLo, t.CritHi)
+		}
+		b.WriteString("},\n")
+	}
+	b.WriteString(indent + "}}")
+	return b.String()
+}
+
+// schemeIdent returns the proc package identifier for a scheme.
+func schemeIdent(s proc.Scheme) string {
+	switch s {
+	case proc.Base:
+		return "Base"
+	case proc.SLE:
+		return "SLE"
+	case proc.TLR:
+		return "TLR"
+	case proc.TLRStrictTS:
+		return "TLRStrictTS"
+	case proc.MCS:
+		return "MCS"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}

@@ -1,0 +1,99 @@
+package litmus
+
+import (
+	"fmt"
+
+	"tlrsim/internal/bus"
+	"tlrsim/internal/cache"
+	"tlrsim/internal/coherence"
+	"tlrsim/internal/memsys"
+	"tlrsim/internal/proc"
+)
+
+// Perturb is the scheduling perturbation applied to a machine run. Litmus
+// programs issue no workload randomness, so without perturbation every seed
+// would produce the same interleaving; thread start jitter plus bus
+// arbitration jitter make the seed sweep explore distinct schedules.
+type Perturb struct {
+	// StartJitter delays each thread's start by a seeded-random
+	// 0..StartJitter cycles (proc.Config.StartJitter).
+	StartJitter uint64
+	// ArbJitter adds a seeded-random 0..ArbJitter cycles to every bus grant
+	// (bus.Config.ArbJitter).
+	ArbJitter uint64
+}
+
+// DefaultPerturb spreads thread starts across a few hundred cycles (the
+// scale of a cache miss). Bus arbitration jitter is left off: measured on the
+// full 2x2x<=3 sweep it adds no observed outcomes beyond what start jitter
+// already exposes, and a nonzero ArbJitter forces every machine to seed the
+// kernel RNG (~16us of lag-table setup), which would dominate the sweep.
+var DefaultPerturb = Perturb{StartJitter: 300}
+
+// maxEvents is the litmus run event budget. A healthy run of a <=9-op
+// program completes in a few thousand events; a livelocked scheme hits this
+// bound in well under a millisecond instead of grinding toward the
+// machine-wide half-billion default.
+const maxEvents = 250_000
+
+// machineConfig assembles the small machine litmus programs run on.
+func machineConfig(cpus int, scheme proc.Scheme, seed int64, pt Perturb) proc.Config {
+	return proc.Config{
+		Procs:  cpus,
+		Scheme: scheme,
+		Seed:   seed,
+		Coherence: coherence.Config{
+			// A litmus program touches at most a handful of padded lines;
+			// the tiny cache keeps machine construction (the dominant cost
+			// of a sweep over tens of thousands of micro-programs) cheap
+			// without ever evicting the working set.
+			Cache: cache.Config{SizeBytes: 2048, Ways: 2, VictimEntries: 4},
+			Bus: bus.Config{
+				SnoopLat: 20, DataLat: 20, ArbCycles: 2, Occupancy: 2,
+				MaxOutstanding: 32, ArbJitter: pt.ArbJitter,
+			},
+			L2Lat: 12, MemLat: 70, WriteBufferLines: 16,
+			// The TSO store buffer is opt-in machine-wide but mandatory
+			// here: the reference model quantifies over store-buffer drain
+			// schedules, and running the machine with blocking stores would
+			// silently shrink the behaviours the sweep exercises to the SC
+			// subset.
+			StoreBufferEntries: 8,
+		},
+		UseRMWPredictor: true,
+		EnableChecker:   true,
+		MaxEvents:       maxEvents,
+		StartJitter:     pt.StartJitter,
+	}
+}
+
+// Run executes the program on the simulated machine under one
+// (scheme, seed, perturbation) and returns its outcome string.
+func Run(p Program, scheme proc.Scheme, seed int64, pt Perturb) (string, error) {
+	m := proc.NewMachine(machineConfig(len(p.Threads), scheme, seed, pt))
+	lock := m.NewLock()
+	locs := make([]memsys.Addr, p.NumLocs)
+	for i := range locs {
+		locs[i] = m.Alloc.PaddedWord()
+	}
+	threads := make([]proc.LitmusThread, len(p.Threads))
+	for ti, t := range p.Threads {
+		ops := make([]proc.LitmusOp, len(t.Ops))
+		for j, o := range t.Ops {
+			ops[j] = proc.LitmusOp{
+				IsLoad: o.Kind == Load,
+				Addr:   locs[o.Loc],
+				Val:    StoreVal(ti, j),
+			}
+		}
+		threads[ti] = proc.LitmusThread{Ops: ops, CritLo: int(t.CritLo), CritHi: int(t.CritHi)}
+	}
+	loads, err := m.RunLitmus(lock, threads)
+	if err != nil {
+		return "", err
+	}
+	if v := m.Sys.ArchWord(lock.Addr); v != 0 {
+		return "", fmt.Errorf("lock word left %d after completion", v)
+	}
+	return m.LitmusOutcome(loads, locs), nil
+}

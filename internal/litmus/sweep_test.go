@@ -1,0 +1,52 @@
+package litmus
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestExhaustiveContainmentSweep is the tier-1 correctness gate: every
+// canonical program of the 2x2x<=3 shape (2-op under the race detector),
+// run under BASE, SLE and TLR across eight seeds, must produce only
+// outcomes the lock-based reference set admits. It runs in short mode too —
+// this is the point of the package, not an optional extra.
+//
+// On failure every retained divergence is printed as a ready-to-paste
+// reproducer test.
+func TestExhaustiveContainmentSweep(t *testing.T) {
+	shape := Shape{CPUs: 2, Locs: 2, MaxOps: sweepMaxOps}
+	rep := Check(Options{Shape: shape})
+	t.Logf("shape %+v: %d programs, %d runs, %d reference outcomes, %d observed",
+		shape, rep.Programs, rep.Runs, rep.RefOutcomes, rep.ObservedOutcomes)
+	if sweepMaxOps == 3 {
+		want := EnumStats{Raw: 135460, AfterFilters: 116831, Canonical: 58483}
+		if rep.EnumStats != want {
+			t.Errorf("enumeration stats = %+v, want %+v", rep.EnumStats, want)
+		}
+	}
+	reportDivergences(t, rep)
+}
+
+// TestContainmentSweepThreeLocations adds the 3-location, 2-op shape: wider
+// data footprint, shallower threads. Skipped in short mode — the short gate
+// is the deep shape above.
+func TestContainmentSweepThreeLocations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode runs the deep 2-location shape only")
+	}
+	rep := Check(Options{Shape: Shape{CPUs: 2, Locs: 3, MaxOps: 2}})
+	t.Logf("3-loc shape: %d programs, %d runs", rep.Programs, rep.Runs)
+	reportDivergences(t, rep)
+}
+
+func reportDivergences(t *testing.T, rep *Report) {
+	t.Helper()
+	if rep.Ok() {
+		return
+	}
+	for i, d := range rep.Divergences {
+		t.Errorf("divergence %d: %s\n\n%s", i+1, d,
+			d.GoTest(fmt.Sprintf("TestLitmusRepro%d", i+1)))
+	}
+	t.Fatalf("%d containment divergence(s)", rep.TotalDivergences)
+}

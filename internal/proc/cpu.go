@@ -120,8 +120,10 @@ func (cpu *CPU) Ctrl() *coherence.Controller { return cpu.ctrl }
 // Done reports whether the thread has finished.
 func (cpu *CPU) Done() bool { return cpu.done }
 
-// start launches the thread goroutine and schedules the first fetch.
-func (cpu *CPU) start(prog func(*TC)) {
+// start launches the thread goroutine and schedules the first fetch, delay
+// cycles from now (Config.StartJitter scheduling perturbation; 0 preserves
+// the unperturbed schedule exactly).
+func (cpu *CPU) start(prog func(*TC), delay uint64) {
 	cpu.tc = newTC(cpu)
 	tc := cpu.tc
 	go func() {
@@ -129,7 +131,7 @@ func (cpu *CPU) start(prog func(*TC)) {
 		prog(tc)
 		tc.flushCompute()
 	}()
-	cpu.m.K.AtCall(cpu.m.K.Now(), firstFetchEvent, cpu, nil, 0)
+	cpu.m.K.AtCall(cpu.m.K.Now()+sim.Time(delay), firstFetchEvent, cpu, nil, 0)
 }
 
 func firstFetchEvent(recv, _ any, _ uint64) {

@@ -17,6 +17,7 @@
 package proc
 
 import (
+	"errors"
 	"fmt"
 
 	"tlrsim/internal/checker"
@@ -90,6 +91,16 @@ type Config struct {
 
 	// MaxEvents bounds a run (runaway/livelock guard).
 	MaxEvents uint64
+
+	// StartJitter, when positive, delays each thread's first fetch by a
+	// uniformly random 0..StartJitter cycles drawn from the kernel's seeded
+	// stream. It is the scheduling-perturbation knob for litmus exploration:
+	// litmus programs issue no workload randomness of their own, so without
+	// jitter every seed would collapse onto one interleaving. Combined with
+	// bus arbitration jitter (bus.Config.ArbJitter) a seed sweep explores
+	// genuinely distinct schedules while each individual run stays a pure
+	// function of (Config, Seed).
+	StartJitter uint64
 
 	// EnableChecker runs the functional checker behind the timing simulator
 	// (§5.3): every transaction commit and plain access is validated against
@@ -228,13 +239,26 @@ func (m *Machine) NewLock() *Lock {
 
 // Run executes one program per CPU to completion. It returns an error on
 // deadlock (all threads blocked with no events pending) or when the event
-// budget is exhausted (livelock guard).
+// budget is exhausted (livelock guard). When the functional checker is
+// attached and has recorded a divergence, that divergence is joined into the
+// returned error: a livelock or deadlock is very often the *symptom* of a
+// correctness bug (e.g. a consumer spinning forever on a value the broken
+// protocol lost), and reporting only the budget exhaustion would hide the
+// cause.
 func (m *Machine) Run(progs []func(*TC)) error {
 	if len(progs) != len(m.CPUs) {
 		return fmt.Errorf("proc: %d programs for %d CPUs", len(progs), len(m.CPUs))
 	}
 	for i, p := range progs {
-		m.CPUs[i].start(p)
+		var delay uint64
+		if m.cfg.StartJitter > 0 {
+			// The delay is a seeded hash rather than a kernel-RNG draw: it is
+			// derived per (seed, CPU) without seeding math/rand, so machines
+			// whose only perturbation is start jitter (litmus sweeps build
+			// tens of thousands of them) never pay the lag-table setup cost.
+			delay = startDelay(m.cfg.Seed, i) % (m.cfg.StartJitter + 1)
+		}
+		m.CPUs[i].start(p, delay)
 	}
 	m.mx.Registry().StartSamplers(m.K)
 	for {
@@ -242,10 +266,14 @@ func (m *Machine) Run(progs []func(*TC)) error {
 			break
 		}
 		if m.K.Fired() >= m.cfg.MaxEvents {
-			return fmt.Errorf("proc: event budget %d exhausted at cycle %d (livelock?)", m.cfg.MaxEvents, m.K.Now())
+			return errors.Join(
+				fmt.Errorf("proc: event budget %d exhausted at cycle %d (livelock?)", m.cfg.MaxEvents, m.K.Now()),
+				m.CheckerErr())
 		}
 		if !m.K.Step() {
-			return fmt.Errorf("proc: deadlock at cycle %d: %s", m.K.Now(), m.describeStall())
+			return errors.Join(
+				fmt.Errorf("proc: deadlock at cycle %d: %s", m.K.Now(), m.describeStall()),
+				m.CheckerErr())
 		}
 	}
 	// Stop samplers before draining: a self-rescheduling sampler tick would
@@ -254,6 +282,18 @@ func (m *Machine) Run(progs []func(*TC)) error {
 	// Drain the memory system (in-flight write-backs etc.).
 	m.K.Run()
 	return nil
+}
+
+// startDelay mixes (seed, cpu) through splitmix64: cheap, well-distributed,
+// and deterministic for a given configuration.
+func startDelay(seed int64, cpu int) uint64 {
+	x := uint64(seed)*0x9e3779b97f4a7c15 + uint64(cpu+1)*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 func (m *Machine) allDone() bool {

@@ -59,7 +59,6 @@ func TestSingleThreadLoadStore(t *testing.T) {
 func TestCounterAllSchemes(t *testing.T) {
 	const iters = 50
 	for _, scheme := range allSchemes {
-		scheme := scheme
 		t.Run(scheme.String(), func(t *testing.T) {
 			m := NewMachine(cfg(4, scheme))
 			l := m.NewLock()
@@ -99,7 +98,6 @@ func TestDisjointCountersNoConflicts(t *testing.T) {
 	ctrs := m.Alloc.PaddedWords(4)
 	progs := make([]func(*TC), 4)
 	for i := range progs {
-		i := i
 		progs[i] = func(tc *TC) {
 			for n := 0; n < iters; n++ {
 				tc.Critical(l, func() {
@@ -200,7 +198,6 @@ func TestSLEFallsBackUnderConflicts(t *testing.T) {
 
 func TestNestedCriticalSections(t *testing.T) {
 	for _, scheme := range []Scheme{Base, TLR} {
-		scheme := scheme
 		t.Run(scheme.String(), func(t *testing.T) {
 			const iters = 20
 			m := NewMachine(cfg(2, scheme))
@@ -413,7 +410,6 @@ func TestBodyReexecutionIsTransparent(t *testing.T) {
 	execs := make([]int, 4)
 	progs := make([]func(*TC), 4)
 	for i := range progs {
-		i := i
 		progs[i] = func(tc *TC) {
 			for n := 0; n < 25; n++ {
 				tc.Critical(l, func() {

@@ -23,7 +23,6 @@ func stabilityRun(t *testing.T, scheme Scheme, stallAt, stallLen uint64) (*Machi
 	ctr := m.Alloc.PaddedWord()
 	progs := make([]func(*TC), procs)
 	for i := range progs {
-		i := i
 		progs[i] = func(tc *TC) {
 			if i != 0 {
 				// Stagger the other threads so CPU 0 deterministically owns

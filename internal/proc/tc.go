@@ -97,7 +97,6 @@ func newTC(cpu *CPU) *TC {
 		cpu: cpu,
 		ops: make(chan op),
 		res: make(chan result),
-		rng: rand.New(rand.NewSource(cpu.m.cfg.Seed*1000003 + int64(cpu.id))),
 	}
 }
 
@@ -124,8 +123,16 @@ func (tc *TC) mem(o op) uint64 {
 func (tc *TC) CPUID() int { return tc.cpu.id }
 
 // Rand returns this thread's deterministic random stream (for workload
-// randomisation such as the paper's post-release delays, §5.1).
-func (tc *TC) Rand() *rand.Rand { return tc.rng }
+// randomisation such as the paper's post-release delays, §5.1). The stream
+// is created on first use: seeding a math/rand source costs microseconds,
+// which dominates machine construction for workloads — litmus programs in
+// particular — that never draw from it.
+func (tc *TC) Rand() *rand.Rand {
+	if tc.rng == nil {
+		tc.rng = rand.New(rand.NewSource(tc.cpu.m.cfg.Seed*1000003 + int64(tc.cpu.id)))
+	}
+	return tc.rng
+}
 
 // Load reads the word at a.
 func (tc *TC) Load(a memsys.Addr) uint64 { return tc.mem(op{kind: opLoad, addr: a}) }

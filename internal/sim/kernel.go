@@ -53,6 +53,7 @@ type Kernel struct {
 	now    Time
 	seq    uint64
 	events []event // 4-ary min-heap ordered by eventLess
+	seed   int64
 	rng    *rand.Rand
 	fired  uint64
 }
@@ -60,7 +61,7 @@ type Kernel struct {
 // New returns a kernel whose pseudo-random stream is derived from seed.
 func New(seed int64) *Kernel {
 	return &Kernel{
-		rng:    rand.New(rand.NewSource(seed)),
+		seed:   seed,
 		events: make([]event, 0, 64),
 	}
 }
@@ -75,8 +76,16 @@ func (k *Kernel) Fired() uint64 { return k.fired }
 
 // Rand returns the kernel's seeded random stream. All model randomness
 // (arbitration jitter, post-release delays) must come from here so runs are
-// reproducible.
-func (k *Kernel) Rand() *rand.Rand { return k.rng }
+// reproducible. The stream is created on first use: seeding a math/rand
+// source walks a 607-entry lag table and costs microseconds, which dominates
+// machine construction for configurations that never draw (litmus sweeps
+// build tens of thousands of machines with all jitter disabled).
+func (k *Kernel) Rand() *rand.Rand {
+	if k.rng == nil {
+		k.rng = rand.New(rand.NewSource(k.seed))
+	}
+	return k.rng
+}
 
 // push inserts e, sifting up through 4-ary parents.
 func (k *Kernel) push(e event) {

@@ -34,7 +34,6 @@ func TestSameCycleFIFO(t *testing.T) {
 	k := New(1)
 	var got []int
 	for i := 0; i < 100; i++ {
-		i := i
 		k.At(5, func() { got = append(got, i) })
 	}
 	k.Run()

@@ -52,10 +52,8 @@ func small() []Workload {
 // every workload's sequential post-condition must hold under every scheme.
 func TestAllWorkloadsAllSchemes(t *testing.T) {
 	for _, scheme := range testSchemes {
-		scheme := scheme
 		t.Run(scheme.String(), func(t *testing.T) {
 			for _, w := range small() {
-				w := w
 				t.Run(w.Name(), func(t *testing.T) {
 					if _, err := Run(cfg(4, scheme), w); err != nil {
 						t.Fatal(err)
@@ -75,7 +73,6 @@ func TestWorkloadsAt16Procs(t *testing.T) {
 		&LinkedList{TotalOps: 96},
 		&Radiosity{Tasks: 96, Work: 30},
 	} {
-		w := w
 		t.Run(w.Name(), func(t *testing.T) {
 			if _, err := Run(cfg(16, proc.TLR), w); err != nil {
 				t.Fatal(err)
@@ -229,7 +226,6 @@ func TestTimestampRolloverPreservesCorrectness(t *testing.T) {
 // validating every commit and the replay oracle validating the final state.
 func TestRandomMixStress(t *testing.T) {
 	for _, scheme := range testSchemes {
-		scheme := scheme
 		t.Run(scheme.String(), func(t *testing.T) {
 			for seed := int64(1); seed <= 4; seed++ {
 				w := &RandomMix{Iters: 40, Seed: seed}
@@ -279,7 +275,6 @@ func TestRandomMixWide(t *testing.T) {
 // configuration) across every scheme, validated by the checker and oracles.
 func TestStoreBufferAllSchemes(t *testing.T) {
 	for _, scheme := range testSchemes {
-		scheme := scheme
 		t.Run(scheme.String(), func(t *testing.T) {
 			c := cfg(4, scheme)
 			c.Coherence.StoreBufferEntries = 64

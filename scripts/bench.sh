@@ -16,7 +16,18 @@ out="${1:-BENCH.json}"
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
-go test -run '^$' -bench . -benchtime=1x -count=3 ./... | tee "$raw" >&2
+# POSIX sh has no pipefail: piping `go test` through tee would make the
+# pipeline's status tee's, so `set -e` would sail past a failed benchmark
+# run and publish JSON parsed from a broken log. Run the tests with output
+# captured to the temp file, replay it to stderr, and check the status
+# before writing anything.
+status=0
+go test -run '^$' -bench . -benchtime=1x -count=3 ./... >"$raw" 2>&1 || status=$?
+cat "$raw" >&2
+if [ "$status" -ne 0 ]; then
+	echo "bench.sh: benchmark run failed (status $status); not writing $out" >&2
+	exit "$status"
+fi
 
 awk -v go_version="$(go env GOVERSION)" '
 BEGIN { print "{"; printf "  \"go\": \"%s\",\n", go_version; print "  \"bench\": ["; first = 1 }

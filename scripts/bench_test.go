@@ -1,0 +1,93 @@
+// Tests for bench.sh: the script must propagate a benchmark failure as a
+// non-zero exit and must not write the JSON results file from a broken run
+// (a plain `cmd | tee` pipeline under `set -e` silently masks the failure —
+// the regression this pins).
+package scripts_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// stubGo installs a fake `go` binary on PATH whose `test` subcommand prints
+// one benchmark line and exits with the status in FAKE_GO_EXIT.
+func stubGo(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	stub := `#!/bin/sh
+case "$1" in
+env) echo go1.fake ;;
+test)
+	echo "BenchmarkFake 1 123 ns/op 456 simcycles"
+	exit "${FAKE_GO_EXIT:-0}" ;;
+*) exit 1 ;;
+esac
+`
+	path := filepath.Join(dir, "go")
+	if err := os.WriteFile(path, []byte(stub), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func runBench(t *testing.T, stubDir, out string, goExit string) (int, string) {
+	t.Helper()
+	script, err := filepath.Abs("bench.sh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("sh", script, out)
+	cmd.Env = append(os.Environ(),
+		"PATH="+stubDir+string(os.PathListSeparator)+os.Getenv("PATH"),
+		"FAKE_GO_EXIT="+goExit)
+	b, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0, string(b)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running bench.sh: %v\n%s", err, b)
+	}
+	return ee.ExitCode(), string(b)
+}
+
+func TestBenchScriptWritesJSONOnSuccess(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("sh script")
+	}
+	out := filepath.Join(t.TempDir(), "bench.json")
+	code, log := runBench(t, stubGo(t), out, "0")
+	if code != 0 {
+		t.Fatalf("exit %d on success path:\n%s", code, log)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("JSON not written: %v", err)
+	}
+	for _, frag := range []string{`"BenchmarkFake"`, `"ns_per_op": 123`, `"simcycles": 456`} {
+		if !strings.Contains(string(b), frag) {
+			t.Fatalf("JSON missing %s:\n%s", frag, b)
+		}
+	}
+}
+
+func TestBenchScriptFailsWithoutJSONOnBenchFailure(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("sh script")
+	}
+	out := filepath.Join(t.TempDir(), "bench.json")
+	code, log := runBench(t, stubGo(t), out, "7")
+	if code == 0 {
+		t.Fatalf("benchmark failure not propagated:\n%s", log)
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Fatalf("JSON written despite failed benchmark run (stat err: %v):\n%s", err, log)
+	}
+	if !strings.Contains(log, "not writing") {
+		t.Fatalf("no failure diagnostic:\n%s", log)
+	}
+}

@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	tlrlitmus [-cpus N] [-locs N] [-ops N] [-seeds N] [-jobs N] [-short] [-v]
+//	tlrlitmus [-cpus N] [-locs N] [-ops N] [-seeds N] [-jobs N] [-short] [-coldstart] [-v]
 package main
 
 import (
@@ -38,6 +38,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seeds = fs.Int("seeds", 8, "seeds per (program, scheme)")
 		jobs  = fs.Int("jobs", 0, "parallel programs (0 = host cores)")
 		short = fs.Bool("short", false, "quick smoke shape: at most 2 ops per thread, 4 seeds")
+		cold  = fs.Bool("coldstart", false, "construct a fresh machine per run instead of reusing warm machines (cross-check; outcomes are identical either way)")
 		verb  = fs.Bool("v", false, "progress output")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -60,9 +61,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seedList[i] = int64(i + 1)
 	}
 	opts := litmus.Options{
-		Shape: litmus.Shape{CPUs: *cpus, Locs: *locs, MaxOps: *ops},
-		Seeds: seedList,
-		Jobs:  *jobs,
+		Shape:     litmus.Shape{CPUs: *cpus, Locs: *locs, MaxOps: *ops},
+		Seeds:     seedList,
+		Jobs:      *jobs,
+		ColdStart: *cold,
 	}
 	if *verb {
 		start := time.Now()

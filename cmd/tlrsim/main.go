@@ -56,6 +56,7 @@ func run(args []string, stdout io.Writer) error {
 		jobs       = fs.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = sequential; results are identical at any value)")
 		verbose    = fs.Bool("v", false, "print per-job completion lines on stderr")
 		metricsOut = fs.String("metrics", "", "attach observability instruments and write per-run dumps to this file")
+		coldstart  = fs.Bool("coldstart", false, "disable warm-machine reuse and prefix forking (cross-check; output is identical either way)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
 		memprofile = fs.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
@@ -112,6 +113,7 @@ func run(args []string, stdout io.Writer) error {
 	o.AppProcs = *appProcs
 	o.Jobs = *jobs
 	o.Metrics = metricsFile != nil
+	o.ColdStart = *coldstart
 	if *verbose {
 		o.Progress = func(done, total int, label string, run *tlrsim.Run) {
 			fmt.Fprintf(os.Stderr, "tlrsim: [%d/%d] %s: %d cycles\n", done, total, label, run.Cycles)

@@ -257,6 +257,46 @@ func (b *Bus) Attach(id int, s Snooper, r Receiver) {
 // Stats returns accumulated interconnect counters.
 func (b *Bus) Stats() *Stats { return &b.stats }
 
+// Reset rewinds the interconnect to the state New constructs, keeping the
+// attached controllers and the message free lists (pooling is invisible to
+// the protocol: a recycled message is field-assigned before every send).
+// The bus must be drained — no queued or outstanding transactions, no grant
+// in flight — which the machine-level quiescence check guarantees.
+func (b *Bus) Reset() {
+	if b.outstanding != 0 || len(b.queue) != 0 || b.granting {
+		panic("bus: Reset while transactions in flight")
+	}
+	b.nextGrant = 0
+	b.nextID = 0
+	clear(b.sendFree)
+	clear(b.stats.Txns)
+	txns := b.stats.Txns
+	b.stats = Stats{Txns: txns}
+}
+
+// AdoptState copies src's grant clock, transaction numbering, per-endpoint
+// injection times, and stats into b (snapshot restore). Both buses must be
+// drained.
+func (b *Bus) AdoptState(src *Bus) {
+	if b.outstanding != 0 || len(b.queue) != 0 || b.granting ||
+		src.outstanding != 0 || len(src.queue) != 0 || src.granting {
+		panic("bus: AdoptState while transactions in flight")
+	}
+	b.nextGrant = src.nextGrant
+	b.nextID = src.nextID
+	clear(b.sendFree)
+	for id, t := range src.sendFree {
+		b.sendFree[id] = t
+	}
+	txns := b.stats.Txns
+	clear(txns)
+	for k, v := range src.stats.Txns {
+		txns[k] = v
+	}
+	b.stats = src.stats
+	b.stats.Txns = txns
+}
+
 // Issue queues transaction t for the address network. The bus assigns the
 // transaction ID and, at grant time, the global order.
 func (b *Bus) Issue(t *Txn) uint64 {

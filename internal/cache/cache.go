@@ -157,6 +157,48 @@ func (c *Cache) setFor(line memsys.Addr) []Line {
 // Stats returns the array counters.
 func (c *Cache) Stats() *Stats { return &c.stats }
 
+// Reset invalidates every frame and rewinds LRU state and stats to
+// construction state. Lazily allocated sets are kept and zeroed rather than
+// dropped: a zeroed frame is Invalid, which reads identically to the nil
+// set of a fresh cache, and keeping the arrays is what makes reuse
+// allocation-free.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		if c.sets[i] != nil {
+			clear(c.sets[i])
+		}
+	}
+	c.victim = c.victim[:0]
+	c.tick = 0
+	c.stats = Stats{}
+	c.specTouched = c.specTouched[:0]
+}
+
+// AdoptState deep-copies src's frames, victim cache, LRU clock, and stats
+// into c (snapshot restore). Both caches must share the same geometry.
+func (c *Cache) AdoptState(src *Cache) {
+	if c.cfg != src.cfg {
+		panic("cache: AdoptState geometry mismatch")
+	}
+	for i := range c.sets {
+		switch {
+		case src.sets[i] == nil && c.sets[i] == nil:
+			// Both untouched.
+		case src.sets[i] == nil:
+			clear(c.sets[i])
+		default:
+			if c.sets[i] == nil {
+				c.sets[i] = make([]Line, c.cfg.Ways)
+			}
+			copy(c.sets[i], src.sets[i])
+		}
+	}
+	c.victim = append(c.victim[:0], src.victim...)
+	c.tick = src.tick
+	c.stats = src.stats
+	c.specTouched = append(c.specTouched[:0], src.specTouched...)
+}
+
 func (c *Cache) setIndex(line memsys.Addr) int {
 	return int(uint64(line) / memsys.LineBytes % uint64(c.numSets))
 }

@@ -107,6 +107,27 @@ func New() *Checker {
 // time).
 func (c *Checker) Preload(a memsys.Addr, v uint64) { c.shadow[a] = v }
 
+// Reset rewinds the checker to the state New constructs, keeping its maps
+// and scratch buffers.
+func (c *Checker) Reset() {
+	clear(c.shadow)
+	c.txns, c.plainOps = 0, 0
+	c.violations = c.violations[:0]
+	c.dropped = 0
+}
+
+// AdoptState copies src's shadow memory and counters into c (snapshot
+// restore).
+func (c *Checker) AdoptState(src *Checker) {
+	clear(c.shadow)
+	for a, v := range src.shadow {
+		c.shadow[a] = v
+	}
+	c.txns, c.plainOps = src.txns, src.plainOps
+	c.violations = append(c.violations[:0], src.violations...)
+	c.dropped = src.dropped
+}
+
 // CommitTxn validates one committed transaction: reads must match the
 // shadow at this (commit) point — TLR's conflict detection guarantees no
 // writer intervened between read and commit — then writes apply atomically.

@@ -258,6 +258,56 @@ func NewEngine(cpu int, pol Policy) *Engine {
 	return e
 }
 
+// Reset rewinds the engine to the state NewEngine(cpu, pol) constructs,
+// keeping its maps and the deferred-queue backing array. The policy may
+// change across a reset (the scheme is a runtime knob of machine reuse), so
+// NewEngine's defaulting is reapplied to pol.
+func (e *Engine) Reset(pol Policy) {
+	if pol.MaxDeferred <= 0 {
+		pol.MaxDeferred = 16
+	}
+	if pol.MaxElisionDepth <= 0 {
+		pol.MaxElisionDepth = 8
+	}
+	e.pol = pol
+	e.clk.Reset()
+	e.clk.SetBits(pol.TimestampBits)
+	e.mode = ModeIdle
+	e.depth, e.elided, e.specBase = 0, 0, 0
+	e.txStamp = stamp.Stamp{}
+	e.txSeq = 0
+	e.aborted = false
+	e.abortReason = ReasonNone
+	e.deferred = e.deferred[:0]
+	clear(e.conflictLines)
+	e.restartsThisAttempt = 0
+	clear(e.upgradeViolations)
+	e.stats = Stats{}
+}
+
+// AdoptState copies src's cross-transaction state — logical clock,
+// transaction numbering, upgrade-violation memory, and stats — into e
+// (snapshot restore). Both engines must be idle: transaction-local state
+// (deferred queue, conflict lines, stamps) is meaningful only
+// mid-transaction, and snapshots are taken at quiescence.
+func (e *Engine) AdoptState(src *Engine) {
+	if e.mode != ModeIdle || src.mode != ModeIdle {
+		panic("core: AdoptState on a non-idle engine")
+	}
+	e.clk.AdoptState(src.clk)
+	e.txSeq = src.txSeq
+	clear(e.conflictLines)
+	for l, v := range src.conflictLines {
+		e.conflictLines[l] = v
+	}
+	e.restartsThisAttempt = src.restartsThisAttempt
+	clear(e.upgradeViolations)
+	for l, n := range src.upgradeViolations {
+		e.upgradeViolations[l] = n
+	}
+	e.stats = src.stats
+}
+
 // StampBefore compares two timestamps under the engine's configured
 // timestamp width: plain comparison for unbounded clocks, half-window
 // wrapped comparison for fixed-size hardware timestamps.

@@ -34,6 +34,22 @@ func NewElisionPredictor(entries int) *ElisionPredictor {
 	}
 }
 
+// Reset empties the prediction table (construction state; capacity and
+// confidence parameters are construction-time shape and survive).
+func (p *ElisionPredictor) Reset() {
+	clear(p.counters)
+	p.order = p.order[:0]
+}
+
+// AdoptState copies src's prediction table into p (snapshot restore).
+func (p *ElisionPredictor) AdoptState(src *ElisionPredictor) {
+	clear(p.counters)
+	for k, v := range src.counters {
+		p.counters[k] = v
+	}
+	p.order = append(p.order[:0], src.order...)
+}
+
 func (p *ElisionPredictor) get(site int) int8 {
 	if c, ok := p.counters[site]; ok {
 		return c
@@ -102,6 +118,27 @@ func NewRMWPredictor(entries int) *RMWPredictor {
 		max:       3,
 		threshold: 2,
 		loads:     make(map[memsys.Addr]int),
+	}
+}
+
+// Reset empties the prediction and load-tracking tables (construction
+// state).
+func (p *RMWPredictor) Reset() {
+	clear(p.counters)
+	p.order = p.order[:0]
+	clear(p.loads)
+}
+
+// AdoptState copies src's tables into p (snapshot restore).
+func (p *RMWPredictor) AdoptState(src *RMWPredictor) {
+	clear(p.counters)
+	for k, v := range src.counters {
+		p.counters[k] = v
+	}
+	p.order = append(p.order[:0], src.order...)
+	clear(p.loads)
+	for k, v := range src.loads {
+		p.loads[k] = v
 	}
 }
 

@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The reuse contract, asserted end to end: every experiment report is
+// byte-identical whether machines are constructed cold per point, rewound
+// from a warm pool, or forked from a shared snapshotted prefix. Reset and
+// Fork are exact, so the cold path is the oracle and the warm path must
+// reproduce it bit for bit — across seeds, and for both the fork-grouped
+// ablations and a plain pooled sweep.
+func TestExperimentReportEquivalence(t *testing.T) {
+	experiments := []struct {
+		name string
+		run  func(Options) (*Result, error)
+	}{
+		{"NackVsDeferral", NackVsDeferral},
+		{"DeferredQueueSweep", DeferredQueueSweep},
+		{"RestartPenaltySweep", RestartPenaltySweep},
+		{"Fig9", Fig9},
+	}
+	for _, seed := range []int64{1, 2, 42} {
+		for _, ex := range experiments {
+			t.Run(fmt.Sprintf("%s/seed=%d", ex.name, seed), func(t *testing.T) {
+				o := opts()
+				o.Seed = seed
+				o.Ops = 0.1
+				o.Procs = []int{2, 4}
+				o.AppProcs = 4
+
+				o.ColdStart = true
+				cold, err := ex.run(o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				o.ColdStart = false
+				warm, err := ex.run(o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cold.Report != warm.Report {
+					t.Errorf("cold and warm reports differ:\n--- cold ---\n%s\n--- warm ---\n%s",
+						cold.Report, warm.Report)
+				}
+				if cold.CSV() != warm.CSV() {
+					t.Errorf("cold and warm CSV differ:\n--- cold ---\n%s\n--- warm ---\n%s",
+						cold.CSV(), warm.CSV())
+				}
+			})
+		}
+	}
+}
+
+// A fork group under parallel workers must still scatter results back by
+// enumeration order: units complete in host order, reports must not care.
+func TestForkGroupParallelEquivalence(t *testing.T) {
+	o := opts()
+	o.Ops = 0.1
+	o.Procs = []int{2, 4}
+
+	o.Jobs = 1
+	seq, err := NackVsDeferral(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Jobs = 8
+	par, err := NackVsDeferral(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Report != par.Report {
+		t.Errorf("-jobs 1 and -jobs 8 fork-group reports differ:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+			seq.Report, par.Report)
+	}
+}

@@ -18,9 +18,6 @@ import (
 	"sort"
 	"strings"
 
-	"tlrsim/internal/bus"
-	"tlrsim/internal/cache"
-	"tlrsim/internal/coherence"
 	"tlrsim/internal/proc"
 	"tlrsim/internal/runner"
 	"tlrsim/internal/stats"
@@ -52,6 +49,11 @@ type Options struct {
 	// (Result.MetricsDumps renders them per experiment). The instruments
 	// never alter simulation results.
 	Metrics bool
+	// ColdStart disables warm-machine reuse and prefix forking: every point
+	// constructs a fresh machine and simulates its full prefix. Reports are
+	// identical either way — machine reset and fork are exact — so this
+	// exists for cross-checking and benchmarking.
+	ColdStart bool
 }
 
 // DefaultOptions returns the standard experiment configuration.
@@ -71,31 +73,11 @@ func (o Options) scaled(n int) int {
 }
 
 // MachineConfig returns the paper's Table 2 target system for the given
-// processor count and scheme.
+// processor count and scheme. It is proc.BaselineConfig — the one shared
+// construction path that machine reset/fork semantics mirror — re-exported
+// under the name the experiment code has always used.
 func MachineConfig(procs int, scheme proc.Scheme, seed int64) proc.Config {
-	return proc.Config{
-		Procs:  procs,
-		Scheme: scheme,
-		Seed:   seed,
-		Coherence: coherence.Config{
-			Cache: cache.Config{SizeBytes: 131072, Ways: 4, VictimEntries: 16},
-			Bus: bus.Config{
-				SnoopLat: 20, DataLat: 20,
-				ArbCycles: 2, ArbJitter: 2, Occupancy: 2,
-				MaxOutstanding: 120,
-			},
-			L2Lat:            12,
-			MemLat:           70,
-			WriteBufferLines: 64,
-		},
-		RestartPenalty:  10,
-		SpinRecheck:     2,
-		UseRMWPredictor: true,
-		RMWEntries:      128,
-		ElisionEntries:  64,
-		MaxEvents:       2_000_000_000,
-		EnableChecker:   true,
-	}
+	return proc.BaselineConfig(procs, scheme, seed)
 }
 
 // Result is the outcome of one experiment: per-(scheme, procs) runs plus a
@@ -129,18 +111,87 @@ type point struct {
 	label string
 	cfg   proc.Config
 	build func() workloads.Workload
+	// fork, when non-empty, names the point's fork group. Points sharing a
+	// key differ only in reset knobs (Policy, RestartPenalty, ...) over the
+	// same workload, shape, and seed, so they simulate identical warm
+	// prefixes; runPoints executes a group by setting the workload up once,
+	// snapshotting, and forking the snapshot into every configuration.
+	fork string
 }
 
 // runPoints executes the experiment's points on the worker pool configured
-// by o and returns the results in enumeration order.
+// by o and returns the results in enumeration order. Fork-grouped points
+// share one snapshotted prefix per group (disabled under Metrics — snapshots
+// refuse metrics machines, whose per-lock profiles forks would share — and
+// under ColdStart).
 func runPoints(o Options, points []point) ([]*stats.Run, error) {
 	jobs := make([]runner.Job, len(points))
 	for i, pt := range points {
 		pt.cfg.EnableMetrics = o.Metrics
 		jobs[i] = runner.Job{Label: pt.label, Config: pt.cfg, Build: pt.build}
 	}
-	pool := &runner.Pool{Workers: o.Jobs, Progress: o.Progress}
-	return pool.Run(jobs)
+	pool := &runner.Pool{Workers: o.Jobs, Progress: o.Progress, Cold: o.ColdStart}
+	groupable := !o.Metrics && !o.ColdStart
+	var (
+		units   []runner.Unit
+		unitIdx [][]int // unit -> original point indices, in unit job order
+		groups  = map[string]int{}
+	)
+	for i, pt := range points {
+		if groupable && pt.fork != "" {
+			if gi, ok := groups[pt.fork]; ok {
+				units[gi].Jobs = append(units[gi].Jobs, jobs[i])
+				unitIdx[gi] = append(unitIdx[gi], i)
+				continue
+			}
+			groups[pt.fork] = len(units)
+			units = append(units, runner.Unit{Jobs: []runner.Job{jobs[i]}, Exec: forkExec})
+			unitIdx = append(unitIdx, []int{i})
+			continue
+		}
+		units = append(units, runner.Unit{Jobs: []runner.Job{jobs[i]}})
+		unitIdx = append(unitIdx, []int{i})
+	}
+	byUnit, err := pool.RunUnits(units)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*stats.Run, len(points))
+	for ui, rs := range byUnit {
+		for k, run := range rs {
+			results[unitIdx[ui][k]] = run
+		}
+	}
+	return results, nil
+}
+
+// forkExec executes one fork group: acquire a machine for the group's first
+// configuration, run the shared workload's Setup once (host-side writes
+// only — no simulated events, so the machine stays quiescent), snapshot,
+// then fork that warm prefix into every member configuration and simulate
+// only the run phase. One workload instance serves all forks: its Setup
+// state (addresses, locks, per-thread splits) describes the shared memory
+// image every fork adopts.
+func forkExec(mc *runner.MachineCache, jobs []runner.Job) ([]*stats.Run, error) {
+	base := mc.Acquire(jobs[0].Config)
+	w := jobs[0].Build()
+	w.Setup(base)
+	snap, err := base.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("%s: snapshot: %w", jobs[0].Label, err)
+	}
+	runs := make([]*stats.Run, len(jobs))
+	for i, j := range jobs {
+		if err := snap.ForkInto(base, j.Config); err != nil {
+			return nil, fmt.Errorf("%s: fork: %w", j.Label, err)
+		}
+		if err := workloads.RunPrograms(base, w); err != nil {
+			return nil, fmt.Errorf("%s: %w", j.Label, err)
+		}
+		runs[i] = stats.Collect(base)
+	}
+	mc.Release(base)
+	return runs, nil
 }
 
 // sweep runs a microbenchmark across schemes and processor counts.

@@ -1,0 +1,74 @@
+package litmus
+
+import (
+	"testing"
+)
+
+// BenchmarkLitmusSweepShort times the short smoke shape (the CI shape) with
+// warm-machine reuse, the configuration the containment gate actually runs.
+// One iteration is a complete sweep: enumerate, reference sets, machine runs.
+func BenchmarkLitmusSweepShort(b *testing.B) {
+	benchSweep(b, false)
+}
+
+// BenchmarkLitmusSweepShortCold is the same sweep with pooling disabled:
+// every machine run pays construction. The ratio against
+// BenchmarkLitmusSweepShort is the warm-reuse win.
+func BenchmarkLitmusSweepShortCold(b *testing.B) {
+	benchSweep(b, true)
+}
+
+func benchSweep(b *testing.B, cold bool) {
+	opts := Options{
+		Shape:     Shape{CPUs: 2, Locs: 2, MaxOps: 2},
+		Seeds:     []int64{1, 2, 3, 4},
+		Jobs:      1,
+		ColdStart: cold,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := Check(opts)
+		if !rep.Ok() {
+			b.Fatalf("containment failed: %d divergences", rep.TotalDivergences)
+		}
+	}
+}
+
+// Steady-state reuse gate: once the pool is warm, a litmus iteration must
+// not construct machines. A warm iteration still allocates per-op scratch
+// (event closures, load-record slices, the outcome string), so the test
+// calibrates against a cold runner on the identical workload and asserts
+// the pool removes the construction allocations — a machine sneaking back
+// into the warm path erases the gap and trips the check.
+func TestSteadyStateRunMachineAllocFree(t *testing.T) {
+	progs, _ := Enumerate(Shape{CPUs: 2, Locs: 2, MaxOps: 2})
+	if len(progs) == 0 {
+		t.Fatal("no programs enumerated")
+	}
+	p := progs[len(progs)/2]
+
+	measure := func(r *Runner) float64 {
+		for _, scheme := range DefaultSchemes {
+			if _, err := r.Run(p, scheme, 1, DefaultPerturb); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return testing.AllocsPerRun(50, func() {
+			for _, scheme := range DefaultSchemes {
+				if _, err := r.Run(p, scheme, 1, DefaultPerturb); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}) / float64(len(DefaultSchemes))
+	}
+
+	warm := measure(NewRunner())
+	cold := measure(NewColdRunner())
+	// Machine construction is ~75 allocations; require the pool to save the
+	// bulk of them per run.
+	if saved := cold - warm; saved < 50 {
+		t.Errorf("warm run allocates %.1f objects vs %.1f cold (saves %.1f, want >= 50): machine reuse broken?",
+			warm, cold, saved)
+	}
+}

@@ -30,6 +30,10 @@ type Options struct {
 	// MaxDivergences bounds how many divergences are retained with full
 	// detail (the total is always counted). 0 means DefaultMaxDivergences.
 	MaxDivergences int
+	// ColdStart disables warm-machine reuse: every run constructs a fresh
+	// machine (the pre-pool behaviour). Outcomes are identical either way —
+	// Reset is exact — so this exists for cross-checking and benchmarking.
+	ColdStart bool
 	// Progress, when non-nil, is called after each program completes with
 	// (done, total). Calls arrive in completion order.
 	Progress func(done, total int)
@@ -159,12 +163,20 @@ func checkPrograms(progs []Program, st EnumStats, opts Options) *Report {
 	}
 	work := func() {
 		defer wg.Done()
+		// One pooled runner and one reference-model explorer per worker:
+		// both are single-goroutine state, and per-worker reuse needs no
+		// locking.
+		r := NewRunner()
+		if opts.ColdStart {
+			r = NewColdRunner()
+		}
+		e := newExplorer()
 		for {
 			i, ok := claim()
 			if !ok {
 				return
 			}
-			results[i] = checkOne(progs[i], opts)
+			results[i] = checkOne(r, e, progs[i], opts)
 			if opts.Progress != nil {
 				mu.Lock()
 				done++
@@ -195,9 +207,13 @@ func checkPrograms(progs []Program, st EnumStats, opts Options) *Report {
 }
 
 // checkOne sweeps one program: reference set once, then every
-// (scheme, seed) machine run checked against it.
-func checkOne(p Program, opts Options) progResult {
-	locked := ReferenceOutcomes(p)
+// (scheme, seed) machine run checked against it, all on r's pooled machines
+// and e's reused model state.
+func checkOne(r *Runner, e *explorer, p Program, opts Options) progResult {
+	// locked aliases e's reused storage: a divergence that retains it must
+	// copy (divergences are rare; the copy is off the hot path).
+	locked := e.outcomesOf(p)
+	keepLocked := func() []string { return append([]string(nil), locked...) }
 	lockedSet := make(map[string]struct{}, len(locked))
 	for _, o := range locked {
 		lockedSet[o] = struct{}{}
@@ -207,17 +223,17 @@ func checkOne(p Program, opts Options) progResult {
 		seen := map[string]struct{}{}
 		for _, seed := range opts.Seeds {
 			res.runs++
-			out, err := Run(p, scheme, seed, opts.Perturb)
+			out, err := r.Run(p, scheme, seed, opts.Perturb)
 			if err != nil {
 				res.divergences = append(res.divergences, Divergence{
-					Prog: p, Scheme: scheme, Seed: seed, Err: err, Locked: locked,
+					Prog: p, Scheme: scheme, Seed: seed, Err: err, Locked: keepLocked(),
 				})
 				continue
 			}
 			seen[out] = struct{}{}
 			if _, ok := lockedSet[out]; !ok {
 				res.divergences = append(res.divergences, Divergence{
-					Prog: p, Scheme: scheme, Seed: seed, Outcome: out, Locked: locked,
+					Prog: p, Scheme: scheme, Seed: seed, Outcome: out, Locked: keepLocked(),
 				})
 			}
 		}

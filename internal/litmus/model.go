@@ -22,6 +22,11 @@ import (
 // The model over-approximates only where over-approximation is safe: it
 // allows any drain schedule the FIFO discipline admits, including ones the
 // timing simulator's concrete latencies would never produce.
+//
+// The search walks the state graph depth-first with in-place mutation and
+// undo — a step is applied, explored, and reverted — so a state's size never
+// costs an allocation. Only visited-set keys and newly seen outcome strings
+// allocate.
 
 // micro-op kinds of the expanded thread program.
 type mopKind uint8
@@ -48,44 +53,107 @@ type sbEntry struct {
 	val uint64
 }
 
-// refState is one node of the interleaving search.
-type refState struct {
-	pc    []int       // next micro-op per thread
-	bufs  [][]sbEntry // FIFO store buffer per thread
-	mem   []uint64    // data locations
-	lock  uint64      // lock word's memory value
-	loads [][]uint64  // values observed so far, per thread
+// maxThreadOps bounds one thread's op count inside the model's fixed-size
+// state (sweep shapes use at most 3; headroom is free). outcomesOf checks
+// the bound.
+const maxThreadOps = 8
+
+// tbufCap bounds one thread's store buffer: at most maxThreadOps data stores
+// plus the lock release can be buffered at once (an acquire requires the
+// buffer empty first).
+const tbufCap = maxThreadOps + 1
+
+// tbuf is one thread's FIFO store buffer as a fixed ring-free window:
+// ents[head:tail]. Draining advances head; undo rewinds it — entries are
+// never overwritten until the enclosing push is itself undone.
+type tbuf struct {
+	ents       [tbufCap]sbEntry
+	head, tail int8
+}
+
+func (b *tbuf) len() int { return int(b.tail - b.head) }
+
+// threadState is one thread's part of the search state.
+type threadState struct {
+	pc    int
+	buf   tbuf
+	loads [maxThreadOps]uint64
+	nload int
+}
+
+// explorer is the DFS over interleavings. It is reusable across programs
+// (visited/outcomes buckets and the key arena survive) — one per sweep
+// worker.
+type explorer struct {
+	mops     [][]mop
+	threads  []threadState
+	mem      []uint64
+	lock     uint64
+	visited  map[string]struct{}
+	outcomes map[string]struct{}
+	key      []byte
+
+	// scratch views for outcome formatting
+	loadViews [][]uint64
+	out       []string
+}
+
+func newExplorer() *explorer {
+	return &explorer{
+		visited:  make(map[string]struct{}),
+		outcomes: make(map[string]struct{}),
+	}
 }
 
 // ReferenceOutcomes returns the sorted outcome set of the lock-based
 // program: every FormatOutcome string a TSO execution respecting the lock
 // can produce.
 func ReferenceOutcomes(p Program) []string {
-	mops := make([][]mop, len(p.Threads))
+	return newExplorer().outcomesOf(p)
+}
+
+// outcomesOf computes ReferenceOutcomes on the explorer's reused storage.
+// The returned slice is valid until the next call.
+func (e *explorer) outcomesOf(p Program) []string {
+	if cap(e.mops) < len(p.Threads) {
+		e.mops = make([][]mop, len(p.Threads))
+		e.threads = make([]threadState, len(p.Threads))
+		e.loadViews = make([][]uint64, len(p.Threads))
+	}
+	e.mops = e.mops[:len(p.Threads)]
+	e.threads = e.threads[:len(p.Threads)]
+	e.loadViews = e.loadViews[:len(p.Threads)]
 	for ti, t := range p.Threads {
-		mops[ti] = expandThread(ti, t)
+		if len(t.Ops) > maxThreadOps {
+			panic("litmus: thread exceeds the model's op bound")
+		}
+		e.mops[ti] = expandThread(ti, t, e.mops[ti][:0])
+		e.threads[ti] = threadState{}
 	}
-	init := refState{
-		pc:    make([]int, len(p.Threads)),
-		bufs:  make([][]sbEntry, len(p.Threads)),
-		mem:   make([]uint64, p.NumLocs),
-		loads: make([][]uint64, len(p.Threads)),
+	if cap(e.mem) < p.NumLocs {
+		e.mem = make([]uint64, p.NumLocs)
 	}
-	outcomes := map[string]struct{}{}
-	visited := map[string]struct{}{}
-	explore(mops, init, visited, outcomes)
-	out := make([]string, 0, len(outcomes))
-	for o := range outcomes {
-		out = append(out, o)
+	e.mem = e.mem[:p.NumLocs]
+	for i := range e.mem {
+		e.mem[i] = 0
 	}
-	sort.Strings(out)
-	return out
+	e.lock = 0
+	clear(e.visited)
+	clear(e.outcomes)
+
+	e.explore()
+
+	e.out = e.out[:0]
+	for o := range e.outcomes {
+		e.out = append(e.out, o)
+	}
+	sort.Strings(e.out)
+	return e.out
 }
 
 // expandThread compiles a thread into micro-ops: its data ops plus the lock
 // acquire/release brackets around the critical window.
-func expandThread(tid int, t Thread) []mop {
-	var out []mop
+func expandThread(tid int, t Thread, out []mop) []mop {
 	for i, o := range t.Ops {
 		if t.HasCrit() && i == int(t.CritLo) {
 			out = append(out, mop{kind: mAcquire})
@@ -102,126 +170,121 @@ func expandThread(tid int, t Thread) []mop {
 	return out
 }
 
-// explore walks every enabled step from s. Steps per thread: execute its
+// explore walks every enabled step from the current state, mutating in place
+// and undoing each step after its subtree. Steps per thread: execute its
 // next micro-op (if enabled), or drain the oldest entry of its store buffer.
-func explore(mops [][]mop, s refState, visited, outcomes map[string]struct{}) {
-	k := s.encode()
-	if _, seen := visited[k]; seen {
+func (e *explorer) explore() {
+	e.key = e.appendKey(e.key[:0])
+	if _, seen := e.visited[string(e.key)]; seen {
 		return
 	}
-	visited[k] = struct{}{}
+	e.visited[string(e.key)] = struct{}{}
 
 	terminal := true
-	for ti := range mops {
+	for ti := range e.mops {
+		ts := &e.threads[ti]
 		// Drain step.
-		if len(s.bufs[ti]) > 0 {
+		if ts.buf.len() > 0 {
 			terminal = false
-			explore(mops, s.drain(ti), visited, outcomes)
+			ent := ts.buf.ents[ts.buf.head]
+			ts.buf.head++
+			if ent.loc == lockLoc {
+				saved := e.lock
+				e.lock = ent.val
+				e.explore()
+				e.lock = saved
+			} else {
+				saved := e.mem[ent.loc]
+				e.mem[ent.loc] = ent.val
+				e.explore()
+				e.mem[ent.loc] = saved
+			}
+			ts.buf.head--
 		}
 		// Execute step.
-		if s.pc[ti] >= len(mops[ti]) {
+		if ts.pc >= len(e.mops[ti]) {
 			continue
 		}
 		terminal = false
-		m := mops[ti][s.pc[ti]]
+		m := e.mops[ti][ts.pc]
 		switch m.kind {
 		case mLoad:
-			v, fwd := forward(s.bufs[ti], m.loc)
+			v, fwd := forward(&ts.buf, m.loc)
 			if !fwd {
-				v = s.mem[m.loc]
+				v = e.mem[m.loc]
 			}
-			explore(mops, s.step(ti, func(n *refState) {
-				n.loads[ti] = append(n.loads[ti], v)
-			}), visited, outcomes)
+			ts.pc++
+			ts.loads[ts.nload] = v
+			ts.nload++
+			e.explore()
+			ts.nload--
+			ts.pc--
 		case mStore:
-			explore(mops, s.step(ti, func(n *refState) {
-				n.bufs[ti] = append(n.bufs[ti], sbEntry{m.loc, m.val})
-			}), visited, outcomes)
+			ts.pc++
+			ts.buf.ents[ts.buf.tail] = sbEntry{m.loc, m.val}
+			ts.buf.tail++
+			e.explore()
+			ts.buf.tail--
+			ts.pc--
 		case mAcquire:
 			// Atomics fence: the buffer must have drained (drain steps get
 			// the search there), and the lock word must be free in memory.
-			if len(s.bufs[ti]) == 0 && s.lock == 0 {
-				explore(mops, s.step(ti, func(n *refState) {
-					n.lock = 1
-				}), visited, outcomes)
+			if ts.buf.len() == 0 && e.lock == 0 {
+				ts.pc++
+				e.lock = 1
+				e.explore()
+				e.lock = 0
+				ts.pc--
 			}
 		case mRelease:
-			explore(mops, s.step(ti, func(n *refState) {
-				n.bufs[ti] = append(n.bufs[ti], sbEntry{lockLoc, 0})
-			}), visited, outcomes)
+			ts.pc++
+			ts.buf.ents[ts.buf.tail] = sbEntry{lockLoc, 0}
+			ts.buf.tail++
+			e.explore()
+			ts.buf.tail--
+			ts.pc--
 		}
 	}
 	if terminal {
-		outcomes[proc.FormatOutcome(s.loads, s.mem)] = struct{}{}
+		for ti := range e.threads {
+			ts := &e.threads[ti]
+			e.loadViews[ti] = ts.loads[:ts.nload]
+		}
+		e.key = proc.AppendOutcome(e.key[:0], e.loadViews, e.mem)
+		if _, ok := e.outcomes[string(e.key)]; !ok {
+			e.outcomes[string(e.key)] = struct{}{}
+		}
 	}
 }
 
 // forward returns the newest buffered value for loc, if any (TSO
 // store->load forwarding).
-func forward(buf []sbEntry, loc int8) (uint64, bool) {
-	for i := len(buf) - 1; i >= 0; i-- {
-		if buf[i].loc == loc {
-			return buf[i].val, true
+func forward(buf *tbuf, loc int8) (uint64, bool) {
+	for i := buf.tail - 1; i >= buf.head; i-- {
+		if buf.ents[i].loc == loc {
+			return buf.ents[i].val, true
 		}
 	}
 	return 0, false
 }
 
-// drain returns s with thread ti's oldest buffered store applied to memory.
-func (s refState) drain(ti int) refState {
-	n := s.clone()
-	e := n.bufs[ti][0]
-	n.bufs[ti] = append([]sbEntry(nil), n.bufs[ti][1:]...)
-	if e.loc == lockLoc {
-		n.lock = e.val
-	} else {
-		n.mem[e.loc] = e.val
-	}
-	return n
-}
-
-// step returns s with thread ti's pc advanced and mutate applied.
-func (s refState) step(ti int, mutate func(*refState)) refState {
-	n := s.clone()
-	n.pc[ti]++
-	mutate(&n)
-	return n
-}
-
-func (s refState) clone() refState {
-	n := refState{
-		pc:    append([]int(nil), s.pc...),
-		bufs:  make([][]sbEntry, len(s.bufs)),
-		mem:   append([]uint64(nil), s.mem...),
-		lock:  s.lock,
-		loads: make([][]uint64, len(s.loads)),
-	}
-	for i, b := range s.bufs {
-		n.bufs[i] = append([]sbEntry(nil), b...)
-	}
-	for i, l := range s.loads {
-		n.loads[i] = append([]uint64(nil), l...)
-	}
-	return n
-}
-
-// encode renders the state as a visited-set key.
-func (s refState) encode() string {
-	b := make([]byte, 0, 48)
-	for i, pc := range s.pc {
-		b = append(b, byte(pc), '|')
-		for _, e := range s.bufs[i] {
-			b = append(b, byte(e.loc+1), byte(e.val))
+// appendKey renders the state as a visited-set key into b.
+func (e *explorer) appendKey(b []byte) []byte {
+	for ti := range e.threads {
+		ts := &e.threads[ti]
+		b = append(b, byte(ts.pc), '|')
+		for i := ts.buf.head; i < ts.buf.tail; i++ {
+			b = append(b, byte(ts.buf.ents[i].loc+1), byte(ts.buf.ents[i].val))
 		}
 		b = append(b, '|')
-		for _, v := range s.loads[i] {
+		for _, v := range ts.loads[:ts.nload] {
 			b = append(b, byte(v))
 		}
 		b = append(b, '#')
 	}
-	for _, v := range s.mem {
+	for _, v := range e.mem {
 		b = append(b, byte(v))
 	}
-	b = append(b, byte(s.lock))
-	return string(b)
+	b = append(b, byte(e.lock))
+	return b
 }

@@ -5,7 +5,6 @@ import (
 
 	"tlrsim/internal/bus"
 	"tlrsim/internal/cache"
-	"tlrsim/internal/coherence"
 	"tlrsim/internal/memsys"
 	"tlrsim/internal/proc"
 )
@@ -36,58 +35,124 @@ var DefaultPerturb = Perturb{StartJitter: 300}
 // machine-wide half-billion default.
 const maxEvents = 250_000
 
-// machineConfig assembles the small machine litmus programs run on.
+// machineConfig assembles the small machine litmus programs run on: the
+// shared Table 2 construction path (proc.BaselineConfig) shrunk for
+// micro-programs.
 func machineConfig(cpus int, scheme proc.Scheme, seed int64, pt Perturb) proc.Config {
-	return proc.Config{
-		Procs:  cpus,
-		Scheme: scheme,
-		Seed:   seed,
-		Coherence: coherence.Config{
-			// A litmus program touches at most a handful of padded lines;
-			// the tiny cache keeps machine construction (the dominant cost
-			// of a sweep over tens of thousands of micro-programs) cheap
-			// without ever evicting the working set.
-			Cache: cache.Config{SizeBytes: 2048, Ways: 2, VictimEntries: 4},
-			Bus: bus.Config{
-				SnoopLat: 20, DataLat: 20, ArbCycles: 2, Occupancy: 2,
-				MaxOutstanding: 32, ArbJitter: pt.ArbJitter,
-			},
-			L2Lat: 12, MemLat: 70, WriteBufferLines: 16,
-			// The TSO store buffer is opt-in machine-wide but mandatory
-			// here: the reference model quantifies over store-buffer drain
-			// schedules, and running the machine with blocking stores would
-			// silently shrink the behaviours the sweep exercises to the SC
-			// subset.
-			StoreBufferEntries: 8,
-		},
-		UseRMWPredictor: true,
-		EnableChecker:   true,
-		MaxEvents:       maxEvents,
-		StartJitter:     pt.StartJitter,
+	cfg := proc.BaselineConfig(cpus, scheme, seed)
+	// A litmus program touches at most a handful of padded lines; the tiny
+	// cache keeps machine construction (the dominant cost of a cold sweep
+	// over tens of thousands of micro-programs) cheap without ever evicting
+	// the working set.
+	cfg.Coherence.Cache = cache.Config{SizeBytes: 2048, Ways: 2, VictimEntries: 4}
+	cfg.Coherence.Bus = bus.Config{
+		SnoopLat: 20, DataLat: 20, ArbCycles: 2, Occupancy: 2,
+		MaxOutstanding: 32, ArbJitter: pt.ArbJitter,
 	}
+	cfg.Coherence.WriteBufferLines = 16
+	// The TSO store buffer is opt-in machine-wide but mandatory here: the
+	// reference model quantifies over store-buffer drain schedules, and
+	// running the machine with blocking stores would silently shrink the
+	// behaviours the sweep exercises to the SC subset.
+	cfg.Coherence.StoreBufferEntries = 8
+	cfg.MaxEvents = maxEvents
+	cfg.StartJitter = pt.StartJitter
+	return cfg
 }
+
+// Runner executes litmus programs with warm-machine reuse: one machine per
+// construction shape, rewound with proc.Machine.Reset between runs instead
+// of rebuilt. The scheme and seed are reset knobs, not shape, so at a fixed
+// CPU count every (scheme, seed) run of a sweep shares one machine — even
+// better than pooling per (threads, scheme, perturbation), since the
+// perturbation's only shape-relevant field (ArbJitter) lands in the bus
+// config and keys the pool automatically. A Runner is single-goroutine
+// state; sweeps create one per worker.
+type Runner struct {
+	cold     bool
+	machines map[proc.ResetShape]*proc.Machine
+
+	// Scratch arenas reused across runs (threads/ops/locs slices).
+	threads []proc.LitmusThread
+	ops     []proc.LitmusOp
+	locs    []memsys.Addr
+}
+
+// NewRunner returns a pooling runner.
+func NewRunner() *Runner {
+	return &Runner{machines: make(map[proc.ResetShape]*proc.Machine)}
+}
+
+// NewColdRunner returns a runner that constructs a fresh machine per run
+// (the pre-reuse behaviour; the containment gate can be run this way to
+// cross-check the pool).
+func NewColdRunner() *Runner { return &Runner{cold: true} }
 
 // Run executes the program on the simulated machine under one
 // (scheme, seed, perturbation) and returns its outcome string.
-func Run(p Program, scheme proc.Scheme, seed int64, pt Perturb) (string, error) {
-	m := proc.NewMachine(machineConfig(len(p.Threads), scheme, seed, pt))
-	lock := m.NewLock()
-	locs := make([]memsys.Addr, p.NumLocs)
-	for i := range locs {
-		locs[i] = m.Alloc.PaddedWord()
+func (r *Runner) Run(p Program, scheme proc.Scheme, seed int64, pt Perturb) (string, error) {
+	cfg := machineConfig(len(p.Threads), scheme, seed, pt)
+	var m *proc.Machine
+	var key proc.ResetShape
+	if !r.cold {
+		key = cfg.ResetShape()
+		if pooled := r.machines[key]; pooled != nil && pooled.Reset(cfg) == nil {
+			m = pooled
+		}
 	}
-	threads := make([]proc.LitmusThread, len(p.Threads))
+	if m == nil {
+		m = proc.NewMachine(cfg)
+	}
+	out, err := r.runOn(m, p)
+	if err != nil {
+		// An errored run (deadlock, livelock, checker violation) leaves
+		// blocked thread goroutines and pending events behind: the machine
+		// is not quiescent and must never be reused.
+		if !r.cold {
+			delete(r.machines, key)
+		}
+		return "", err
+	}
+	if !r.cold {
+		r.machines[key] = m
+	}
+	return out, nil
+}
+
+// runOn builds the program's thread list into the runner's scratch arenas
+// and executes it on m.
+func (r *Runner) runOn(m *proc.Machine, p Program) (string, error) {
+	lock := m.NewLock()
+	locs := r.locs[:0]
+	for i := 0; i < p.NumLocs; i++ {
+		locs = append(locs, m.Alloc.PaddedWord())
+	}
+	r.locs = locs
+	// Fill the op arena completely before slicing it per thread: appends
+	// may reallocate, and per-thread views taken early would go stale.
+	ops := r.ops[:0]
 	for ti, t := range p.Threads {
-		ops := make([]proc.LitmusOp, len(t.Ops))
 		for j, o := range t.Ops {
-			ops[j] = proc.LitmusOp{
+			ops = append(ops, proc.LitmusOp{
 				IsLoad: o.Kind == Load,
 				Addr:   locs[o.Loc],
 				Val:    StoreVal(ti, j),
-			}
+			})
 		}
-		threads[ti] = proc.LitmusThread{Ops: ops, CritLo: int(t.CritLo), CritHi: int(t.CritHi)}
 	}
+	r.ops = ops
+	threads := r.threads[:0]
+	base := 0
+	for _, t := range p.Threads {
+		n := len(t.Ops)
+		threads = append(threads, proc.LitmusThread{
+			Ops:    ops[base : base+n : base+n],
+			CritLo: int(t.CritLo),
+			CritHi: int(t.CritHi),
+		})
+		base += n
+	}
+	r.threads = threads
 	loads, err := m.RunLitmus(lock, threads)
 	if err != nil {
 		return "", err
@@ -96,4 +161,12 @@ func Run(p Program, scheme proc.Scheme, seed int64, pt Perturb) (string, error) 
 		return "", fmt.Errorf("lock word left %d after completion", v)
 	}
 	return m.LitmusOutcome(loads, locs), nil
+}
+
+// Run executes the program on a freshly built machine under one
+// (scheme, seed, perturbation) and returns its outcome string. Sweeps use a
+// pooled Runner instead; this remains the one-shot entry point (reproducer
+// tests, external callers).
+func Run(p Program, scheme proc.Scheme, seed int64, pt Perturb) (string, error) {
+	return NewColdRunner().Run(p, scheme, seed, pt)
 }

@@ -94,8 +94,37 @@ func (m *Memory) WriteWord(a Addr, v uint64) {
 	}
 }
 
-// Lines returns the number of distinct lines ever written.
+// Lines returns the number of distinct lines ever written (including lines
+// zeroed again by Reset — the line entries themselves are kept).
 func (m *Memory) Lines() int { return len(m.lines) }
+
+// Reset zeroes the memory image in place. Line entries are kept and zeroed
+// rather than dropped: a zero line is indistinguishable from an untouched
+// one to every reader, and keeping the *LineData allocations is what makes
+// machine reuse allocation-free.
+func (m *Memory) Reset() {
+	for _, l := range m.lines {
+		*l = LineData{}
+	}
+}
+
+// AdoptState makes m's architectural contents identical to src's (snapshot
+// restore): lines present only in m are zeroed, lines in src are copied.
+func (m *Memory) AdoptState(src *Memory) {
+	for a, l := range m.lines {
+		if _, ok := src.lines[a]; !ok {
+			*l = LineData{}
+		}
+	}
+	for a, l := range src.lines {
+		dst, ok := m.lines[a]
+		if !ok {
+			dst = new(LineData)
+			m.lines[a] = dst
+		}
+		*dst = *l
+	}
+}
 
 func mustAligned(a Addr) {
 	if !a.Aligned() {
@@ -114,6 +143,12 @@ type Allocator struct {
 func NewAllocator(base Addr) *Allocator {
 	return &Allocator{next: base.Line() + LineBytes}
 }
+
+// Reset rewinds the allocator to the state NewAllocator(base) constructs.
+func (al *Allocator) Reset(base Addr) { al.next = base.Line() + LineBytes }
+
+// AdoptState copies src's allocation position (snapshot restore).
+func (al *Allocator) AdoptState(src *Allocator) { al.next = src.next }
 
 // Word allocates one 8-byte word.
 func (al *Allocator) Word() Addr {

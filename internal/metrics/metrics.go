@@ -232,6 +232,27 @@ func (r *Registry) NewSampler(name string, period uint64, probe func() uint64) *
 	return s
 }
 
+// Reset zeroes every registered instrument in place (machine reuse): counts
+// drop to zero, sampler series empty, preallocated storage kept.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	for _, c := range r.counters {
+		c.v = 0
+	}
+	for _, h := range r.hists {
+		*h = Histogram{Name: h.Name, Unit: h.Unit}
+	}
+	for _, s := range r.samplers {
+		s.k = nil
+		s.stopped = false
+		s.dropped = 0
+		s.times = s.times[:0]
+		s.vals = s.vals[:0]
+	}
+}
+
 // StartSamplers schedules every sampler's first tick on k. Nil-safe: a
 // disabled machine carries a nil registry.
 func (r *Registry) StartSamplers(k *sim.Kernel) {

@@ -95,6 +95,21 @@ func NewSet(procs int) *Set {
 	return s
 }
 
+// Reset rewinds the instrument set to the state NewSet constructs: all
+// registered instruments zeroed in place, all lock profiles dropped (locks
+// are re-registered by the next workload's NewLock calls). Nil-safe.
+func (s *Set) Reset() {
+	if s == nil {
+		return
+	}
+	s.reg.Reset()
+	clear(s.locks)
+	s.lockList = s.lockList[:0]
+	for i := range s.current {
+		s.current[i] = nil
+	}
+}
+
 // Registry exposes the generic registry (extra instruments, samplers).
 func (s *Set) Registry() *Registry {
 	if s == nil {

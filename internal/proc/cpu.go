@@ -37,7 +37,10 @@ type CPU struct {
 	elide *core.ElisionPredictor
 	rmw   *core.RMWPredictor
 
-	tc     *TC
+	tc *TC
+	// src, when non-nil, feeds the operation stream directly (scripted
+	// threads: no goroutine, no channels). Exactly one of tc/src is active.
+	src    opSource
 	done   bool
 	finish sim.Time
 
@@ -124,6 +127,11 @@ func (cpu *CPU) Done() bool { return cpu.done }
 // cycles from now (Config.StartJitter scheduling perturbation; 0 preserves
 // the unperturbed schedule exactly).
 func (cpu *CPU) start(prog func(*TC), delay uint64) {
+	// A machine may Run more than once (snapshot/fork phases): clear the
+	// previous run's completion flag so allDone, the event budget, and the
+	// deadlock detector see this thread as live again.
+	cpu.done = false
+	cpu.src = nil
 	cpu.tc = newTC(cpu)
 	tc := cpu.tc
 	go func() {
@@ -131,6 +139,16 @@ func (cpu *CPU) start(prog func(*TC), delay uint64) {
 		prog(tc)
 		tc.flushCompute()
 	}()
+	cpu.m.K.AtCall(cpu.m.K.Now()+sim.Time(delay), firstFetchEvent, cpu, nil, 0)
+}
+
+// startScripted launches a scripted thread: the op stream comes from src by
+// direct call, with no thread goroutine behind it. Scheduling is identical
+// to start — the first fetch fires delay cycles from now.
+func (cpu *CPU) startScripted(src opSource, delay uint64) {
+	cpu.done = false
+	cpu.tc = nil
+	cpu.src = src
 	cpu.m.K.AtCall(cpu.m.K.Now()+sim.Time(delay), firstFetchEvent, cpu, nil, 0)
 }
 
@@ -145,19 +163,40 @@ func issueEvent(recv, _ any, _ uint64) {
 	cpu.startOp(cpu.pendingOp)
 }
 
-// fetchNext blocks (host-side) until the thread yields its next operation;
+// fetchNext obtains the thread's next operation: a direct call for scripted
+// threads, a (host-side) blocking channel receive for goroutine threads —
 // the thread is guaranteed to either send or finish. inlineOK marks calls
 // made at an event tail, where the issue event may be run inline.
 func (cpu *CPU) fetchNext(inlineOK bool) {
+	if cpu.src != nil {
+		cpu.scriptNext(result{}, inlineOK)
+		return
+	}
 	o, ok := <-cpu.tc.ops
 	if !ok {
-		cpu.done = true
-		cpu.finish = cpu.m.K.Now()
-		cpu.stats.Finish = cpu.finish
+		cpu.threadDone()
 		return
 	}
 	cpu.stats.Ops++
 	cpu.issueOp(o, inlineOK)
+}
+
+// scriptNext delivers r to the scripted source and issues the operation it
+// yields (or retires the thread).
+func (cpu *CPU) scriptNext(r result, inlineOK bool) {
+	o, ok := cpu.src.next(r)
+	if !ok {
+		cpu.threadDone()
+		return
+	}
+	cpu.stats.Ops++
+	cpu.issueOp(o, inlineOK)
+}
+
+func (cpu *CPU) threadDone() {
+	cpu.done = true
+	cpu.finish = cpu.m.K.Now()
+	cpu.stats.Finish = cpu.finish
 }
 
 // issueOp runs o through the one-cycle issue stage. When the issue event
@@ -346,6 +385,10 @@ func computeDoneEvent(recv, _ any, seq uint64) {
 func (cpu *CPU) finishOp(r result) {
 	cpu.opActive = false
 	cpu.account(cpu.curOp, uint64(cpu.m.K.Now()-cpu.opStart))
+	if cpu.src != nil {
+		cpu.scriptNext(r, true)
+		return
+	}
 	cpu.tc.res <- r
 	cpu.fetchNext(true)
 }
@@ -360,6 +403,10 @@ func (cpu *CPU) completeOp(seq uint64, r result) {
 	}
 	cpu.opActive = false
 	cpu.account(cpu.curOp, uint64(cpu.m.K.Now()-cpu.opStart))
+	if cpu.src != nil {
+		cpu.scriptNext(r, false)
+		return
+	}
 	cpu.tc.res <- r
 	cpu.fetchNext(false)
 }

@@ -46,7 +46,6 @@ func (m *Machine) RunLitmus(lock *Lock, threads []LitmusThread) ([][]uint64, err
 		return nil, fmt.Errorf("proc: %d litmus threads for %d CPUs", len(threads), len(m.CPUs))
 	}
 	loads := make([][]uint64, len(threads))
-	progs := make([]func(*TC), len(threads))
 	for i, th := range threads {
 		if th.CritLo < 0 || th.CritHi < th.CritLo || th.CritHi > len(th.Ops) {
 			return nil, fmt.Errorf("proc: thread %d: bad critical window [%d,%d) over %d ops",
@@ -59,9 +58,24 @@ func (m *Machine) RunLitmus(lock *Lock, threads []LitmusThread) ([][]uint64, err
 			}
 		}
 		loads[i] = make([]uint64, nloads)
-		progs[i] = litmusProg(th, lock, loads[i])
 	}
-	if err := m.Run(progs); err != nil {
+	var err error
+	if m.cfg.Scheme == MCS {
+		// MCS acquisition has per-CPU queue-node state the scripted state
+		// machine does not model; run it on goroutine threads.
+		progs := make([]func(*TC), len(threads))
+		for i, th := range threads {
+			progs[i] = litmusProg(th, lock, loads[i])
+		}
+		err = m.Run(progs)
+	} else {
+		srcs := make([]opSource, len(threads))
+		for i, th := range threads {
+			srcs[i] = newLitmusSM(th, lock, loads[i])
+		}
+		err = m.runScripted(srcs)
+	}
+	if err != nil {
 		return loads, err
 	}
 	return loads, m.CheckerErr()
@@ -123,7 +137,13 @@ func (m *Machine) finalWords(locs []memsys.Addr) []uint64 {
 // harness and internal/litmus's analytic reference model: per-thread load
 // values in program order, then final memory values per location.
 func FormatOutcome(loads [][]uint64, mem []uint64) string {
-	b := make([]byte, 0, 64)
+	return string(AppendOutcome(make([]byte, 0, 64), loads, mem))
+}
+
+// AppendOutcome appends the canonical outcome encoding to b (the
+// allocation-free form of FormatOutcome, for callers that format outcomes in
+// bulk against a reused arena).
+func AppendOutcome(b []byte, loads [][]uint64, mem []uint64) []byte {
 	for i, ls := range loads {
 		if i > 0 {
 			b = append(b, ' ')
@@ -135,7 +155,7 @@ func FormatOutcome(loads [][]uint64, mem []uint64) string {
 	}
 	b = append(b, " m="...)
 	b = appendVals(b, mem)
-	return string(b)
+	return b
 }
 
 func appendVals(b []byte, vs []uint64) []byte {

@@ -160,15 +160,7 @@ func NewMachine(cfg Config) *Machine {
 	if cfg.Procs <= 0 {
 		panic("proc: need at least one processor")
 	}
-	if cfg.RestartPenalty == 0 {
-		cfg.RestartPenalty = 10
-	}
-	if cfg.SpinRecheck == 0 {
-		cfg.SpinRecheck = 2
-	}
-	if cfg.MaxEvents == 0 {
-		cfg.MaxEvents = 500_000_000
-	}
+	cfg = cfg.withDefaults()
 	k := sim.New(cfg.Seed)
 	engines := make([]*core.Engine, cfg.Procs)
 	for i := range engines {
@@ -178,7 +170,7 @@ func NewMachine(cfg Config) *Machine {
 	m := &Machine{
 		K:     k,
 		Sys:   sys,
-		Alloc: memsys.NewAllocator(0x10000),
+		Alloc: memsys.NewAllocator(allocBase),
 		cfg:   cfg,
 	}
 	if cfg.EnableChecker {
@@ -250,16 +242,35 @@ func (m *Machine) Run(progs []func(*TC)) error {
 		return fmt.Errorf("proc: %d programs for %d CPUs", len(progs), len(m.CPUs))
 	}
 	for i, p := range progs {
-		var delay uint64
-		if m.cfg.StartJitter > 0 {
-			// The delay is a seeded hash rather than a kernel-RNG draw: it is
-			// derived per (seed, CPU) without seeding math/rand, so machines
-			// whose only perturbation is start jitter (litmus sweeps build
-			// tens of thousands of them) never pay the lag-table setup cost.
-			delay = startDelay(m.cfg.Seed, i) % (m.cfg.StartJitter + 1)
-		}
-		m.CPUs[i].start(p, delay)
+		m.CPUs[i].start(p, m.startDelay(i))
 	}
+	return m.runLoop()
+}
+
+// runScripted executes one scripted thread per CPU: identical scheduling and
+// event structure to Run, with the op streams fed by direct calls instead of
+// thread goroutines.
+func (m *Machine) runScripted(srcs []opSource) error {
+	for i, s := range srcs {
+		m.CPUs[i].startScripted(s, m.startDelay(i))
+	}
+	return m.runLoop()
+}
+
+// startDelay is cpu's start-jitter delay. The delay is a seeded hash rather
+// than a kernel-RNG draw: it is derived per (seed, CPU) without seeding
+// math/rand, so machines whose only perturbation is start jitter (litmus
+// sweeps build tens of thousands of them) never pay the lag-table setup
+// cost.
+func (m *Machine) startDelay(cpu int) uint64 {
+	if m.cfg.StartJitter == 0 {
+		return 0
+	}
+	return startDelay(m.cfg.Seed, cpu) % (m.cfg.StartJitter + 1)
+}
+
+// runLoop is the shared event loop behind Run and runScripted.
+func (m *Machine) runLoop() error {
 	m.mx.Registry().StartSamplers(m.K)
 	for {
 		if m.allDone() {

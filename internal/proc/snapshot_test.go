@@ -1,0 +1,238 @@
+package proc
+
+import (
+	"testing"
+
+	"tlrsim/internal/memsys"
+)
+
+// Snapshot/fork equivalence gate: a machine forked at a quiescent point must
+// continue EXACTLY as the uninterrupted machine would — same observed values
+// at every load, same final memory, same clock, same kernel event count. Any
+// piece of machine state the fork fails to carry (cache contents, predictor
+// tables, RNG position, engine clocks, store-buffer metadata) shows up here
+// as a divergence in the continuation.
+
+// snapCfg is the machine the equivalence tests run: small enough to be
+// quick, big enough to exercise caches, bus, predictors, and elision.
+func snapCfg(scheme Scheme, seed int64) Config {
+	cfg := BaselineConfig(4, scheme, seed)
+	cfg.MaxEvents = 50_000_000
+	return cfg
+}
+
+// phaseProg returns a thread body that increments ctr under lock iters
+// times; when rec is non-nil, the committed counter value observed after
+// each critical section is appended (a fingerprint of the interleaving).
+func phaseProg(lock *Lock, ctr memsys.Addr, iters int, rec *[]uint64) func(*TC) {
+	return func(tc *TC) {
+		for i := 0; i < iters; i++ {
+			tc.Critical(lock, func() {
+				tc.Store(ctr, tc.Load(ctr)+1)
+			})
+			if rec != nil {
+				*rec = append(*rec, tc.Load(ctr))
+			}
+		}
+	}
+}
+
+// runPhase runs one contended-counter phase on m and fails the test on any
+// error.
+func runPhase(t *testing.T, m *Machine, lock *Lock, ctr memsys.Addr, iters int, recs [][]uint64) {
+	t.Helper()
+	progs := make([]func(*TC), len(m.CPUs))
+	for i := range progs {
+		var rec *[]uint64
+		if recs != nil {
+			rec = &recs[i]
+		}
+		progs[i] = phaseProg(lock, ctr, iters, rec)
+	}
+	if err := m.Run(progs); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckerErr(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fingerprint compares every observable the continuation produced.
+func assertSameContinuation(t *testing.T, want, got *Machine, ctr memsys.Addr, wantRec, gotRec [][]uint64) {
+	t.Helper()
+	if w, g := want.Sys.ArchWord(ctr), got.Sys.ArchWord(ctr); w != g {
+		t.Errorf("final counter: uninterrupted %d, forked %d", w, g)
+	}
+	if w, g := want.Cycles(), got.Cycles(); w != g {
+		t.Errorf("cycles: uninterrupted %d, forked %d", w, g)
+	}
+	if w, g := want.K.Fired(), got.K.Fired(); w != g {
+		t.Errorf("kernel events fired: uninterrupted %d, forked %d", w, g)
+	}
+	for i := range wantRec {
+		w, g := wantRec[i], gotRec[i]
+		if len(w) != len(g) {
+			t.Fatalf("cpu %d: recorded %d values uninterrupted, %d forked", i, len(w), len(g))
+		}
+		for k := range w {
+			if w[k] != g[k] {
+				t.Fatalf("cpu %d load %d: uninterrupted saw %d, forked saw %d", i, k, w[k], g[k])
+			}
+		}
+	}
+	for i := range want.CPUs {
+		if w, g := want.CPUs[i].stats, got.CPUs[i].stats; w != g {
+			t.Errorf("cpu %d stats: uninterrupted %+v, forked %+v", i, w, g)
+		}
+		if w, g := want.CPUs[i].eng.Stats(), got.CPUs[i].eng.Stats(); *w != *g {
+			t.Errorf("cpu %d engine stats: uninterrupted %+v, forked %+v", i, *w, *g)
+		}
+	}
+}
+
+func TestSnapshotEquivalence(t *testing.T) {
+	const phaseA, phaseB = 40, 40
+	for _, scheme := range []Scheme{Base, SLE, TLR} {
+		for _, seed := range []int64{1, 2, 42} {
+			cfg := snapCfg(scheme, seed)
+
+			// Uninterrupted: phase A then phase B on one machine.
+			ref := NewMachine(cfg)
+			lockR := ref.NewLock()
+			ctrR := ref.Alloc.PaddedWord()
+			runPhase(t, ref, lockR, ctrR, phaseA, nil)
+			refRec := make([][]uint64, len(ref.CPUs))
+			runPhase(t, ref, lockR, ctrR, phaseB, refRec)
+
+			// Forked: phase A, snapshot, fork, phase B on the fork.
+			src := NewMachine(cfg)
+			lockS := src.NewLock()
+			ctrS := src.Alloc.PaddedWord()
+			runPhase(t, src, lockS, ctrS, phaseA, nil)
+			snap, err := src.Snapshot()
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", scheme, seed, err)
+			}
+			fork, err := snap.Fork(cfg)
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", scheme, seed, err)
+			}
+			forkRec := make([][]uint64, len(fork.CPUs))
+			runPhase(t, fork, lockS, ctrS, phaseB, forkRec)
+
+			assertSameContinuation(t, ref, fork, ctrR, refRec, forkRec)
+			if t.Failed() {
+				t.Fatalf("%v seed %d: forked continuation diverged", scheme, seed)
+			}
+		}
+	}
+}
+
+// A snapshot is immutable: forking and running must not disturb it, so a
+// second fork replays the identical continuation, and the source machine
+// keeps working independently.
+func TestForkIsolation(t *testing.T) {
+	cfg := snapCfg(TLR, 7)
+	m := NewMachine(cfg)
+	lock := m.NewLock()
+	ctr := m.Alloc.PaddedWord()
+	runPhase(t, m, lock, ctr, 30, nil)
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(fm *Machine) (uint64, [][]uint64) {
+		rec := make([][]uint64, len(fm.CPUs))
+		runPhase(t, fm, lock, ctr, 30, rec)
+		return fm.Sys.ArchWord(ctr), rec
+	}
+
+	f1, err := snap.Fork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, rec1 := run(f1)
+
+	// The source machine continues past the snapshot on its own.
+	runPhase(t, m, lock, ctr, 30, nil)
+
+	f2, err := snap.Fork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, rec2 := run(f2)
+
+	if v1 != v2 {
+		t.Errorf("two forks of one snapshot ended at %d and %d", v1, v2)
+	}
+	for i := range rec1 {
+		for k := range rec1[i] {
+			if rec1[i][k] != rec2[i][k] {
+				t.Fatalf("fork replay diverged at cpu %d load %d: %d vs %d", i, k, rec1[i][k], rec2[i][k])
+			}
+		}
+	}
+	if got, want := m.Sys.ArchWord(ctr), uint64(2*30*len(m.CPUs)); got != want {
+		t.Errorf("source machine counter = %d, want %d", got, want)
+	}
+}
+
+// ForkInto must land exactly where Fork lands, machine construction aside.
+func TestForkIntoMatchesFork(t *testing.T) {
+	cfg := snapCfg(SLE, 3)
+	src := NewMachine(cfg)
+	lock := src.NewLock()
+	ctr := src.Alloc.PaddedWord()
+	runPhase(t, src, lock, ctr, 25, nil)
+	snap, err := src.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, err := snap.Fork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshRec := make([][]uint64, len(fresh.CPUs))
+	runPhase(t, fresh, lock, ctr, 25, freshRec)
+
+	// Recycle an unrelated warm machine of the same shape.
+	warm := NewMachine(snapCfg(Base, 99))
+	wl := warm.NewLock()
+	wc := warm.Alloc.PaddedWord()
+	runPhase(t, warm, wl, wc, 10, nil)
+	if err := snap.ForkInto(warm, cfg); err != nil {
+		t.Fatal(err)
+	}
+	warmRec := make([][]uint64, len(warm.CPUs))
+	runPhase(t, warm, lock, ctr, 25, warmRec)
+
+	assertSameContinuation(t, fresh, warm, ctr, freshRec, warmRec)
+}
+
+// Snapshot and fork refuse what they cannot preserve.
+func TestSnapshotRefusals(t *testing.T) {
+	cfg := snapCfg(TLR, 1)
+	cfg.EnableMetrics = true
+	m := NewMachine(cfg)
+	if _, err := m.Snapshot(); err == nil {
+		t.Error("Snapshot accepted a metrics machine")
+	}
+
+	cfg2 := snapCfg(TLR, 1)
+	m2 := NewMachine(cfg2)
+	snap, err := m2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg2
+	bad.Procs = 8
+	if _, err := snap.Fork(bad); err == nil {
+		t.Error("Fork accepted a shape-changing config")
+	}
+	other := NewMachine(bad)
+	if err := snap.ForkInto(other, bad); err == nil {
+		t.Error("ForkInto accepted a shape-changing config")
+	}
+}

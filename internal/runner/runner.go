@@ -8,6 +8,12 @@
 // reporting layer by returning results in job order regardless of
 // completion order — an experiment's rendered report is a pure function of
 // its job list, not of host scheduling.
+//
+// Workers keep per-shape machine caches (proc.Machine.Reset is exact, so a
+// rewound machine is indistinguishable from a fresh one) and experiments
+// can group jobs into Units that share a simulated prefix via snapshot
+// forking — both reuse paths exist for sweep throughput and neither is
+// allowed to change a single reported byte.
 package runner
 
 import (
@@ -32,6 +38,16 @@ type Job struct {
 	Build func() workloads.Workload
 }
 
+// Unit is a group of jobs one worker executes together, in order. Exec, when
+// non-nil, runs the whole group itself (one result per job, in job order) —
+// the hook experiments use to fork a shared warm prefix across the group's
+// configurations instead of simulating it once per job. A nil Exec runs each
+// job independently on the worker's cached machines.
+type Unit struct {
+	Jobs []Job
+	Exec func(mc *MachineCache, jobs []Job) ([]*stats.Run, error)
+}
+
 // Progress is called after each job completes. done counts completed jobs
 // including this one; calls are serialised but arrive in completion order,
 // which under parallel execution is not job order.
@@ -39,11 +55,53 @@ type Progress func(done, total int, label string, run *stats.Run)
 
 // Pool is a bounded-concurrency job scheduler.
 type Pool struct {
-	// Workers caps concurrent jobs. <= 0 means runtime.GOMAXPROCS(0);
-	// 1 runs the jobs strictly sequentially in job order.
+	// Workers caps concurrent units. <= 0 means runtime.GOMAXPROCS(0);
+	// 1 runs the work strictly sequentially in order.
 	Workers int
 	// Progress, when non-nil, receives one callback per completed job.
 	Progress Progress
+	// Cold disables warm-machine reuse: every job constructs a fresh
+	// machine. Results are identical either way — Reset is exact — so this
+	// exists for cross-checking and benchmarking.
+	Cold bool
+}
+
+// MachineCache is one worker's pool of warm machines, keyed by construction
+// shape. It is single-goroutine state: each worker owns one.
+type MachineCache struct {
+	cold     bool
+	machines map[proc.ResetShape]*proc.Machine
+}
+
+// NewMachineCache returns an empty cache; cold caches never reuse.
+func NewMachineCache(cold bool) *MachineCache {
+	return &MachineCache{cold: cold, machines: make(map[proc.ResetShape]*proc.Machine)}
+}
+
+// Acquire returns a machine constructed (or exactly rewound) for cfg. The
+// caller owns it until Release; a machine that errors out mid-run must NOT
+// be released — dropping it is how poisoned (non-quiescent) machines leave
+// the pool.
+func (c *MachineCache) Acquire(cfg proc.Config) *proc.Machine {
+	if c == nil || c.cold {
+		return proc.NewMachine(cfg)
+	}
+	key := cfg.ResetShape()
+	if m := c.machines[key]; m != nil {
+		delete(c.machines, key)
+		if m.Reset(cfg) == nil {
+			return m
+		}
+	}
+	return proc.NewMachine(cfg)
+}
+
+// Release returns a successfully finished machine to the cache for reuse.
+func (c *MachineCache) Release(m *proc.Machine) {
+	if c == nil || c.cold {
+		return
+	}
+	c.machines[m.Config().ResetShape()] = m
 }
 
 // Run executes the jobs and returns their results in job order. On failure
@@ -51,24 +109,54 @@ type Pool struct {
 // error does not depend on host scheduling), and jobs not yet started are
 // cancelled.
 func (p *Pool) Run(jobs []Job) ([]*stats.Run, error) {
+	units := make([]Unit, len(jobs))
+	for i, j := range jobs {
+		units[i] = Unit{Jobs: []Job{j}}
+	}
+	byUnit, err := p.RunUnits(units)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*stats.Run, len(jobs))
+	for i, rs := range byUnit {
+		results[i] = rs[0]
+	}
+	return results, nil
+}
+
+// RunUnits executes the units and returns their results in unit order (one
+// result slice per unit, one result per job). Units are the scheduling
+// grain: a unit runs entirely on one worker, so its Exec can share machines
+// and snapshots across its jobs. Error semantics match Run: the error of the
+// earliest-indexed failed unit wins, remaining units are cancelled.
+func (p *Pool) RunUnits(units []Unit) ([][]*stats.Run, error) {
+	total := 0
+	for _, u := range units {
+		total += len(u.Jobs)
+	}
 	workers := p.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
+	if workers > len(units) {
+		workers = len(units)
 	}
-	results := make([]*stats.Run, len(jobs))
+	results := make([][]*stats.Run, len(units))
 	if workers <= 1 {
 		// Sequential path: identical to the pre-runner harness loops,
-		// including stopping at the first error in job order.
-		for i, j := range jobs {
-			run, err := execute(j)
+		// including stopping at the first error in order.
+		mc := NewMachineCache(p.Cold)
+		done := 0
+		for i, u := range units {
+			runs, err := p.executeUnit(mc, u)
 			if err != nil {
 				return nil, err
 			}
-			results[i] = run
-			p.report(i+1, len(jobs), j.Label, run)
+			results[i] = runs
+			for k, run := range runs {
+				done++
+				p.report(done, total, u.Jobs[k].Label, run)
+			}
 		}
 		return results, nil
 	}
@@ -78,15 +166,15 @@ func (p *Pool) Run(jobs []Job) ([]*stats.Run, error) {
 		wg        sync.WaitGroup
 		next      int
 		done      int
-		errs      = make([]error, len(jobs))
+		errs      = make([]error, len(units))
 		cancelled bool
 	)
-	// claim hands out the next job index, or false once the list is
-	// exhausted or a failure has cancelled the remaining jobs.
+	// claim hands out the next unit index, or false once the list is
+	// exhausted or a failure has cancelled the remaining units.
 	claim := func() (int, bool) {
 		mu.Lock()
 		defer mu.Unlock()
-		if cancelled || next >= len(jobs) {
+		if cancelled || next >= len(units) {
 			return 0, false
 		}
 		i := next
@@ -97,21 +185,24 @@ func (p *Pool) Run(jobs []Job) ([]*stats.Run, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			mc := NewMachineCache(p.Cold)
 			for {
 				i, ok := claim()
 				if !ok {
 					return
 				}
-				run, err := execute(jobs[i])
+				runs, err := p.executeUnit(mc, units[i])
 				mu.Lock()
 				if err != nil {
 					errs[i] = err
-					cancelled = true // first error wins: stop handing out jobs
+					cancelled = true // first error wins: stop handing out units
 				} else {
-					results[i] = run
-					done++
-					if p.Progress != nil {
-						p.Progress(done, len(jobs), jobs[i].Label, run)
+					results[i] = runs
+					for k, run := range runs {
+						done++
+						if p.Progress != nil {
+							p.Progress(done, total, units[i].Jobs[k].Label, run)
+						}
 					}
 				}
 				mu.Unlock()
@@ -119,7 +210,7 @@ func (p *Pool) Run(jobs []Job) ([]*stats.Run, error) {
 		}()
 	}
 	wg.Wait()
-	// Several in-flight jobs may have failed; report the earliest-indexed
+	// Several in-flight units may have failed; report the earliest-indexed
 	// error so the outcome is deterministic.
 	for _, err := range errs {
 		if err != nil {
@@ -135,14 +226,39 @@ func (p *Pool) report(done, total int, label string, run *stats.Run) {
 	}
 }
 
-// execute runs one job to completion and aggregates its counters.
-func execute(j Job) (*stats.Run, error) {
-	m, err := workloads.Run(j.Config, j.Build())
-	if err != nil {
+// executeUnit runs one unit on the worker's cache.
+func (p *Pool) executeUnit(mc *MachineCache, u Unit) ([]*stats.Run, error) {
+	if u.Exec != nil {
+		runs, err := u.Exec(mc, u.Jobs)
+		if err == nil && len(runs) != len(u.Jobs) {
+			return nil, fmt.Errorf("runner: unit produced %d results for %d jobs", len(runs), len(u.Jobs))
+		}
+		return runs, err
+	}
+	runs := make([]*stats.Run, len(u.Jobs))
+	for i, j := range u.Jobs {
+		run, err := execute(mc, j)
+		if err != nil {
+			return nil, err
+		}
+		runs[i] = run
+	}
+	return runs, nil
+}
+
+// execute runs one job to completion on a cached machine and aggregates its
+// counters.
+func execute(mc *MachineCache, j Job) (*stats.Run, error) {
+	m := mc.Acquire(j.Config)
+	if err := workloads.RunOn(m, j.Build()); err != nil {
+		// The machine may be mid-flight (blocked threads, pending events);
+		// drop it rather than poison the cache.
 		if j.Label != "" {
 			return nil, fmt.Errorf("%s: %w", j.Label, err)
 		}
 		return nil, err
 	}
-	return stats.Collect(m), nil
+	run := stats.Collect(m)
+	mc.Release(m)
+	return run, nil
 }

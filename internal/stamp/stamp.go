@@ -111,6 +111,13 @@ func (c *Clock) Observe(s Stamp) {
 	}
 }
 
+// Reset rewinds the clock to its construction state (cpu identity and bit
+// width are construction-time shape and survive).
+func (c *Clock) Reset() { c.value, c.maxSeen = 0, 0 }
+
+// AdoptState copies the logical-clock position from src (snapshot restore).
+func (c *Clock) AdoptState(src *Clock) { c.value, c.maxSeen = src.value, src.maxSeen }
+
 // Success advances the clock after a successful TLR execution: to one more
 // than the previous value, or one more than the highest conflicting clock
 // seen, whichever is larger (§2.1.2). Restarts must NOT call this.

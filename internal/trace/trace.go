@@ -117,6 +117,18 @@ func New(capacity int) *Tracer {
 	return &Tracer{ring: make([]Event, 0, capacity)}
 }
 
+// Reset empties the ring and counters, keeping the backing array (machine
+// reuse). The sink, if any, stays attached.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.ring = t.ring[:0]
+	t.next = 0
+	t.count = 0
+	t.byKnd = [kindCount]uint64{}
+}
+
 // AttachSink streams subsequent events into s as they are recorded (in
 // addition to the ring). A nil sink detaches.
 func (t *Tracer) AttachSink(s Sink) {

@@ -31,24 +31,40 @@ type Workload interface {
 // Run builds a machine for cfg, runs w on all CPUs, and validates.
 func Run(cfg proc.Config, w Workload) (*proc.Machine, error) {
 	m := proc.NewMachine(cfg)
+	return m, RunOn(m, w)
+}
+
+// RunOn sets w up on an existing machine (fresh, or rewound by
+// proc.Machine.Reset), runs it on all CPUs, and validates. Warm-machine
+// reuse runs exactly this path: Reset is exact, so results are identical to
+// a freshly built machine's.
+func RunOn(m *proc.Machine, w Workload) error {
 	w.Setup(m)
-	progs := make([]func(*proc.TC), cfg.Procs)
+	return RunPrograms(m, w)
+}
+
+// RunPrograms runs w's thread programs and validates, without Setup: the
+// machine already carries w's memory image — either from RunOn's Setup or
+// adopted from a snapshot of a machine w was set up on (proc.Snapshot.Fork).
+func RunPrograms(m *proc.Machine, w Workload) error {
+	procs := len(m.CPUs)
+	progs := make([]func(*proc.TC), procs)
 	for i := range progs {
 		progs[i] = w.Program(i)
 	}
 	if err := m.Run(progs); err != nil {
-		return m, fmt.Errorf("%s: %w", w.Name(), err)
+		return fmt.Errorf("%s: %w", w.Name(), err)
 	}
 	if err := m.Sys.CheckCoherence(); err != nil {
-		return m, fmt.Errorf("%s: coherence: %w", w.Name(), err)
+		return fmt.Errorf("%s: coherence: %w", w.Name(), err)
 	}
 	if err := m.CheckerErr(); err != nil {
-		return m, fmt.Errorf("%s: %w", w.Name(), err)
+		return fmt.Errorf("%s: %w", w.Name(), err)
 	}
 	if err := w.Validate(m); err != nil {
-		return m, fmt.Errorf("%s: validate: %w", w.Name(), err)
+		return fmt.Errorf("%s: validate: %w", w.Name(), err)
 	}
-	return m, nil
+	return nil
 }
 
 // fairnessDelay implements the §5.1 methodology: after releasing a lock the

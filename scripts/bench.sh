@@ -29,8 +29,21 @@ if [ "$status" -ne 0 ]; then
 	exit "$status"
 fi
 
-awk -v go_version="$(go env GOVERSION)" '
-BEGIN { print "{"; printf "  \"go\": \"%s\",\n", go_version; print "  \"bench\": ["; first = 1 }
+# Host metadata makes BENCH_*.json snapshots comparable across machines:
+# wall-clock numbers only mean something next to the core count and
+# GOMAXPROCS they were measured under.
+ncpu="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)"
+# GOMAXPROCS defaults to the core count; an explicit env override wins.
+gomaxprocs="${GOMAXPROCS:-$ncpu}"
+
+awk -v go_version="$(go env GOVERSION)" -v ncpu="$ncpu" -v gomaxprocs="$gomaxprocs" '
+BEGIN {
+    print "{"
+    printf "  \"go\": \"%s\",\n", go_version
+    printf "  \"cpus\": %d,\n", ncpu
+    printf "  \"gomaxprocs\": %d,\n", gomaxprocs
+    print "  \"bench\": ["; first = 1
+}
 /^Benchmark/ {
     if (!first) printf ",\n"
     first = 0

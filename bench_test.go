@@ -245,3 +245,43 @@ func BenchmarkSimulatorThroughputObservability(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFaultInjection measures what deterministic fault injection
+// costs: the same contended workload clean ("off" — the standing guard
+// that the disabled injector's nil-check hooks stay free) and under the
+// robustness ladder's medium composite spec ("on"). The off-vs-on
+// simcycles delta is the simulated-time price of the injected adversity
+// (grant delays, NACKs, forced restarts) and the ns/simcycle pair is the
+// host-time overhead BENCH_<n>.json tracks as the faulted-vs-clean delta.
+func BenchmarkFaultInjection(b *testing.B) {
+	spec, err := tlrsim.ParseFaultSpec("grant=25:25,reorder=10,nack=15,abort=8:conflict,wb=10,cap=24,seed=1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, faulted := range []bool{false, true} {
+		name := "off"
+		if faulted {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var total uint64
+			for i := 0; i < b.N; i++ {
+				cfg := tlrsim.DefaultConfig(8, tlrsim.TLR)
+				if faulted {
+					cfg.Faults = spec
+					cfg.StallCycles = 2_000_000
+				}
+				m, err := tlrsim.RunWorkload(cfg, tlrsim.Benchmarks.SingleCounter(512))
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += uint64(m.Cycles())
+			}
+			b.ReportMetric(float64(total)/float64(b.N), "simcycles")
+			if total > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(total), "ns/simcycle")
+			}
+		})
+	}
+}

@@ -9,9 +9,14 @@
 // Any divergence is printed as a ready-to-paste Go reproducer test and the
 // command exits non-zero.
 //
+// With -faults SPEC the sweep runs in chaos mode: every machine run executes
+// under the given deterministic fault-injection spec (see internal/fault),
+// and containment must still hold — injected adversity may select among
+// contained outcomes, never admit new ones.
+//
 // Usage:
 //
-//	tlrlitmus [-cpus N] [-locs N] [-ops N] [-seeds N] [-jobs N] [-short] [-coldstart] [-v]
+//	tlrlitmus [-cpus N] [-locs N] [-ops N] [-seeds N] [-jobs N] [-short] [-coldstart] [-faults SPEC] [-fault-seed N] [-v]
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"os"
 	"time"
 
+	"tlrsim/internal/fault"
 	"tlrsim/internal/litmus"
 )
 
@@ -40,9 +46,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		short = fs.Bool("short", false, "quick smoke shape: at most 2 ops per thread, 4 seeds")
 		cold  = fs.Bool("coldstart", false, "construct a fresh machine per run instead of reusing warm machines (cross-check; outcomes are identical either way)")
 		verb  = fs.Bool("v", false, "progress output")
+
+		faultSpec = fs.String("faults", "", "chaos mode: fault-injection spec applied to every machine run (e.g. \"nack=25,abort=10,cap=16\"; see internal/fault)")
+		faultSeed = fs.Int64("fault-seed", 0, "fault-injector stream seed (overrides seed= in -faults when nonzero)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	faults, err := fault.ParseSpec(*faultSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "tlrlitmus: %v\n", err)
+		return 2
+	}
+	if *faultSeed != 0 {
+		faults.Seed = *faultSeed
 	}
 	if *cpus < 2 || *cpus > 3 || *locs < 2 || *locs > 3 || *ops < 1 || *ops > 3 || *seeds < 1 {
 		fmt.Fprintln(stderr, "tlrlitmus: -cpus/-locs in 2..3, -ops in 1..3, -seeds >= 1")
@@ -65,6 +82,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Seeds:     seedList,
 		Jobs:      *jobs,
 		ColdStart: *cold,
+		Perturb:   litmus.Perturb{Faults: faults},
 	}
 	if *verb {
 		start := time.Now()
@@ -79,6 +97,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	rep := litmus.Check(opts)
 	fmt.Fprintf(stdout, "shape: %d CPUs x %d locs x <=%d ops, %d seeds\n",
 		*cpus, *locs, *ops, *seeds)
+	if faults.Enabled() {
+		fmt.Fprintf(stdout, "faults: %s\n", faults)
+	}
 	fmt.Fprintf(stdout, "programs: %d raw tuples, %d scheme-sensitive, %d canonical\n",
 		rep.EnumStats.Raw, rep.EnumStats.AfterFilters, rep.EnumStats.Canonical)
 	fmt.Fprintf(stdout, "runs: %d machine runs, %d reference outcomes, %d observed outcomes (%.1fs)\n",

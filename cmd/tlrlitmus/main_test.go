@@ -64,3 +64,29 @@ func TestVerboseProgress(t *testing.T) {
 		t.Fatalf("no progress on stderr:\n%s", errOut)
 	}
 }
+
+func TestChaosMode(t *testing.T) {
+	code, out, _ := runCmd(t, "-cpus", "2", "-locs", "2", "-ops", "1", "-seeds", "2",
+		"-faults", "nack=25,abort=10,cap=16", "-fault-seed", "103")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, frag := range []string{
+		"faults: nack=25,abort=10:conflict,cap=16,seed=103",
+		"containment: OK",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestChaosRejectsBadSpec(t *testing.T) {
+	code, _, errOut := runCmd(t, "-faults", "blorp=3")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "unknown key") {
+		t.Fatalf("no parse diagnostic:\n%s", errOut)
+	}
+}

@@ -10,12 +10,23 @@
 //	tlrsim -experiment fig9 -metrics metrics.txt
 //
 // Experiments: table1, table2, fig8, fig9, fig10, fig11, coarse, rmw,
-// nack, queue, victim, penalty, storebuf, all.
+// nack, queue, victim, penalty, storebuf, robust, all. ("all" runs the
+// paper reproduction suite; "robust" — the fault-intensity degradation
+// sweep — is run explicitly.)
 //
 // Simulated machines are independent deterministic runs, so -jobs N
 // executes up to N of them concurrently on host cores (default
 // runtime.GOMAXPROCS(0)); output is byte-identical at any -jobs level,
 // and -jobs 1 runs strictly sequentially.
+//
+// -faults SPEC re-runs any experiment under deterministic fault injection
+// (grant delays, NACK storms, forced restarts, capacity pressure — see
+// internal/fault) to measure degradation; -fault-seed varies the injection
+// stream. A run that stops making forward progress fails with a structured
+// stall report naming the stalled CPUs and a paste-able reproducer. If a
+// functional-checker violation surfaces, the exit status is 2 and the
+// violation's kind (txn-read-stale, load-incoherent, rmw-stale) is printed
+// on stderr.
 //
 // -metrics FILE attaches the observability instrument set to every
 // simulated machine and writes each run's dump — counters, cycle
@@ -25,6 +36,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -38,16 +50,30 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "tlrsim:", err)
-		os.Exit(1)
+	os.Exit(exitStatus(run(os.Args[1:], os.Stdout), os.Stderr))
+}
+
+// exitStatus maps run's error to the process exit code: 0 success, 1
+// generic failure, 2 functional-checker violation — the timing model broke
+// the memory contract — with the violation's typed kind on stderr so
+// scripts triage without parsing the message.
+func exitStatus(err error, stderr io.Writer) int {
+	if err == nil {
+		return 0
 	}
+	var ve *tlrsim.ViolationError
+	if errors.As(err, &ve) {
+		fmt.Fprintf(stderr, "tlrsim: checker violation [%v]: %v\n", ve.Kind(), err)
+		return 2
+	}
+	fmt.Fprintln(stderr, "tlrsim:", err)
+	return 1
 }
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("tlrsim", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "experiment to run: table1, table2, fig8, fig9, fig10, fig11, coarse, rmw, nack, queue, victim, penalty, storebuf, all")
+		experiment = fs.String("experiment", "all", "experiment to run: table1, table2, fig8, fig9, fig10, fig11, coarse, rmw, nack, queue, victim, penalty, storebuf, robust, all")
 		ops        = fs.Float64("ops", 1.0, "operation-count scale factor (1.0 = harness defaults; raise toward paper scale)")
 		seed       = fs.Int64("seed", 2002, "random seed (runs are deterministic per seed)")
 		procsFlag  = fs.String("procs", "2,4,8,16", "comma-separated processor counts for figure sweeps")
@@ -59,9 +85,18 @@ func run(args []string, stdout io.Writer) error {
 		coldstart  = fs.Bool("coldstart", false, "disable warm-machine reuse and prefix forking (cross-check; output is identical either way)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
 		memprofile = fs.String("memprofile", "", "write an allocation profile to this file at exit")
+		faultSpec  = fs.String("faults", "", "fault-injection spec applied to every simulated machine (e.g. \"nack=25,abort=10:conflict,cap=16\"; see internal/fault)")
+		faultSeed  = fs.Int64("fault-seed", 0, "fault-injector stream seed (overrides seed= in -faults when nonzero)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	faults, err := tlrsim.ParseFaultSpec(*faultSpec)
+	if err != nil {
+		return fmt.Errorf("-faults: %v", err)
+	}
+	if *faultSeed != 0 {
+		faults.Seed = *faultSeed
 	}
 	asCSV := *format == "csv"
 	if *jobs < 1 {
@@ -114,6 +149,7 @@ func run(args []string, stdout io.Writer) error {
 	o.Jobs = *jobs
 	o.Metrics = metricsFile != nil
 	o.ColdStart = *coldstart
+	o.Faults = faults
 	if *verbose {
 		o.Progress = func(done, total int, label string, run *tlrsim.Run) {
 			fmt.Fprintf(os.Stderr, "tlrsim: [%d/%d] %s: %d cycles\n", done, total, label, run.Cycles)
@@ -193,6 +229,9 @@ func run(args []string, stdout io.Writer) error {
 			return report(name, r, err)
 		case "storebuf":
 			r, err := tlrsim.StoreBufferEffect(o)
+			return report(name, r, err)
+		case "robust":
+			r, err := tlrsim.RobustnessSweep(o)
 			return report(name, r, err)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)

@@ -2,10 +2,15 @@ package main
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"tlrsim"
+	"tlrsim/internal/checker"
 )
 
 func TestRunRejectsBadInputs(t *testing.T) {
@@ -17,6 +22,9 @@ func TestRunRejectsBadInputs(t *testing.T) {
 		{"experiment", []string{"-experiment", "nope"}, `unknown experiment "nope"`},
 		{"procs", []string{"-experiment", "fig8", "-procs", "2,x"}, `bad -procs entry "x"`},
 		{"jobs", []string{"-jobs", "0"}, "-jobs must be >= 1"},
+		{"faults-key", []string{"-faults", "bogus=5"}, "-faults:"},
+		{"faults-value", []string{"-faults", "nack=notanumber"}, "-faults:"},
+		{"faults-range", []string{"-faults", "nack=150"}, "-faults:"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -80,5 +88,53 @@ func TestRunMetricsFile(t *testing.T) {
 	}
 	if plain.String() != out.String() {
 		t.Fatalf("-metrics changed the report:\n--- without ---\n%s--- with ---\n%s", plain.String(), out.String())
+	}
+}
+
+// TestExitStatus pins the process exit contract: 0 on success, 1 on
+// generic failure, 2 on a functional-checker violation with the
+// violation's typed kind on stderr — even when the violation arrives
+// wrapped inside a joined error chain, as runs produce it.
+func TestExitStatus(t *testing.T) {
+	ve := &tlrsim.ViolationError{
+		Count: 3,
+		First: checker.Violation{Kind: checker.RMWStale, CPU: 2, Got: 7, Want: 9},
+	}
+	cases := []struct {
+		name       string
+		err        error
+		code       int
+		wantStderr string
+	}{
+		{"success", nil, 0, ""},
+		{"generic", errors.New("boom"), 1, "tlrsim: boom"},
+		{"violation", ve, 2, "checker violation [rmw-stale]"},
+		{"wrapped-violation", fmt.Errorf("fig9: %w", errors.Join(errors.New("stall"), ve)), 2, "checker violation [rmw-stale]"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stderr bytes.Buffer
+			if code := exitStatus(c.err, &stderr); code != c.code {
+				t.Fatalf("exit code %d, want %d (stderr: %s)", code, c.code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), c.wantStderr) {
+				t.Fatalf("stderr %q, want containing %q", stderr.String(), c.wantStderr)
+			}
+		})
+	}
+}
+
+// TestRunFaultedExperiment exercises the -faults/-fault-seed plumbing end
+// to end on a small sweep: the run must terminate cleanly and the report
+// must render despite injected adversity.
+func TestRunFaultedExperiment(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-experiment", "fig8", "-ops", "0.05", "-procs", "2",
+		"-faults", "nack=20,abort=5:conflict,cap=16", "-fault-seed", "7"}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 8") {
+		t.Fatalf("missing report title:\n%s", out.String())
 	}
 }

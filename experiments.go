@@ -66,6 +66,14 @@ func StoreBufferEffect(o ExperimentOptions) (*ExperimentResult, error) {
 	return harness.StoreBufferEffect(o)
 }
 
+// RobustnessSweep measures graceful degradation under the fault-intensity
+// ladder: single-counter under SLE and TLR from a clean baseline through
+// escalating deterministic injection, reporting slowdown, fallback rate,
+// worst retry depth, and fired-injection counts per rung.
+func RobustnessSweep(o ExperimentOptions) (*ExperimentResult, error) {
+	return harness.RobustnessSweep(o)
+}
+
 // Table1 renders the benchmark inventory (paper Table 1).
 func Table1() string { return harness.Table1() }
 

@@ -15,6 +15,7 @@ package bus
 import (
 	"fmt"
 
+	"tlrsim/internal/fault"
 	"tlrsim/internal/memsys"
 	"tlrsim/internal/sim"
 	"tlrsim/internal/stamp"
@@ -207,8 +208,17 @@ type Bus struct {
 	freeMarkers []*Marker
 	freeProbes  []*Probe
 
+	// faults, when non-nil, perturbs grant timing and order, forces NACKs,
+	// and delays marker/probe delivery — all within what the architecture
+	// leaves unspecified. Nil (the default) costs one pointer test per
+	// seam.
+	faults *fault.Injector
+
 	stats Stats
 }
+
+// SetFaults attaches (or with nil detaches) the fault injector.
+func (b *Bus) SetFaults(in *fault.Injector) { b.faults = in }
 
 // New returns a bus on kernel k.
 func New(k *sim.Kernel, cfg Config) *Bus {
@@ -333,6 +343,11 @@ func (b *Bus) pump() {
 	if b.cfg.ArbJitter > 0 {
 		at += sim.Time(uint64(b.k.Rand().Int63n(int64(b.cfg.ArbJitter + 1))))
 	}
+	// Injected arbitration delay: grant latency is unspecified, so any
+	// finite stall is a legal schedule.
+	if d := b.faults.GrantDelay(); d > 0 {
+		at += sim.Time(d)
+	}
 	b.k.AtCall(at, grantEvent, b, nil, 0)
 }
 
@@ -348,8 +363,15 @@ func (b *Bus) grant() {
 	if len(b.queue) == 0 || b.outstanding >= b.cfg.MaxOutstanding {
 		return
 	}
+	// Requests are globally ordered only at grant time, so the arbiter may
+	// legally pick any queued request; injection exercises non-FIFO orders.
 	t := b.queue[0]
-	b.queue = b.queue[1:]
+	if i := b.faults.PickGrant(len(b.queue)); i == 0 {
+		b.queue = b.queue[1:]
+	} else {
+		t = b.queue[i]
+		b.queue = append(b.queue[:i], b.queue[i+1:]...)
+	}
 	b.outstanding++
 	t.Ordered = b.k.Now()
 	b.stats.ArbStalls += uint64(t.Ordered - t.issued)
@@ -382,7 +404,10 @@ func (b *Bus) resolveSnoop(t *Txn) {
 		}
 	}
 	if owner != MemID && owner != t.Src && (t.Kind == GetS || t.Kind == GetX) {
-		if b.snoopers[owner].SnoopNack(t) {
+		// A forced NACK is injected under exactly the eligibility condition
+		// where the owner itself may refuse, so every snooper handles it
+		// through the ordinary NACK-retry path.
+		if b.snoopers[owner].SnoopNack(t) || b.faults.ForceNack() {
 			t.Nacked = true
 			b.stats.Nacks++
 		}
@@ -405,7 +430,7 @@ func (b *Bus) Send(to int, msg Msg) {
 	case *Probe:
 		b.stats.Probes++
 	}
-	b.sendMsg(to, msg, deliverEvent)
+	b.sendMsg(to, msg, deliverEvent, 0)
 }
 
 // SendData sends a pooled DataResp completing split transaction req. data is
@@ -419,7 +444,7 @@ func (b *Bus) SendData(to int, req uint64, line memsys.Addr, data *memsys.LineDa
 	}
 	m.Req, m.Line, m.Data, m.From, m.Shared = req, line, *data, from, shared
 	b.stats.DataMsgs++
-	b.sendMsg(to, m, deliverRecycleEvent)
+	b.sendMsg(to, m, deliverRecycleEvent, 0)
 }
 
 // SendMarker sends a pooled Marker for transaction req.
@@ -432,7 +457,7 @@ func (b *Bus) SendMarker(to int, req uint64, line memsys.Addr, from int) {
 	}
 	m.Req, m.Line, m.From = req, line, from
 	b.stats.Markers++
-	b.sendMsg(to, m, deliverRecycleEvent)
+	b.sendMsg(to, m, deliverRecycleEvent, sim.Time(b.faults.MsgDelay()))
 }
 
 // SendProbe sends a pooled Probe carrying the conflicting timestamp ts.
@@ -445,12 +470,15 @@ func (b *Bus) SendProbe(to int, line memsys.Addr, ts stamp.Stamp, from int) {
 	}
 	m.Line, m.Stamp, m.From = line, ts, from
 	b.stats.Probes++
-	b.sendMsg(to, m, deliverRecycleEvent)
+	b.sendMsg(to, m, deliverRecycleEvent, sim.Time(b.faults.MsgDelay()))
 }
 
 // sendMsg schedules the delivery event; deliver decides whether the message
-// returns to its free list afterwards.
-func (b *Bus) sendMsg(to int, msg Msg, deliver sim.Callback) {
+// returns to its free list afterwards. extra is injected marker/probe delay
+// (message latency is unspecified beyond occupancy spacing, so delivery may
+// legally land arbitrarily later; data responses stay on time — the split
+// transaction is already accounted against the requester).
+func (b *Bus) sendMsg(to int, msg Msg, deliver sim.Callback, extra sim.Time) {
 	from := msg.msgFrom()
 	depart := b.sendFree[from]
 	if now := b.k.Now(); depart < now {
@@ -460,7 +488,7 @@ func (b *Bus) sendMsg(to int, msg Msg, deliver sim.Callback) {
 	if _, ok := b.recvs[to]; !ok {
 		panic(fmt.Sprintf("bus: Send to unknown controller %d", to))
 	}
-	b.k.AtCall(depart+sim.Time(b.cfg.DataLat), deliver, b, msg, uint64(int64(to)))
+	b.k.AtCall(depart+sim.Time(b.cfg.DataLat)+extra, deliver, b, msg, uint64(int64(to)))
 }
 
 // deliverEvent and deliverRecycleEvent are the pre-bound delivery callbacks:

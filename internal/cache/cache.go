@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"slices"
 
+	"tlrsim/internal/fault"
 	"tlrsim/internal/memsys"
 )
 
@@ -124,7 +125,16 @@ type Cache struct {
 	// Frames are tracked by address, not pointer: victim moves and
 	// compaction relocate frames, but Probe always finds the live copy.
 	specTouched []memsys.Addr
+
+	// faults, when non-nil, applies transient victim-cache capacity
+	// pressure: individual spills are refused as if the victim were full,
+	// which is indistinguishable from a mid-run shrink of the victim array
+	// and escalates through the §3.3 resource-overflow fallback.
+	faults *fault.Injector
 }
+
+// SetFaults attaches (or with nil detaches) the fault injector.
+func (c *Cache) SetFaults(in *fault.Injector) { c.faults = in }
 
 // New builds a cache. SizeBytes/Ways/LineBytes must give a power-of-two set
 // count.
@@ -280,7 +290,7 @@ func (c *Cache) Insert(line memsys.Addr, st State, data memsys.LineData) (frame 
 	}
 	// 3) Whole set is speculative: move the LRU speculative frame to the
 	// victim cache, which preserves its access bits and ownership.
-	if len(c.victim) < c.cfg.VictimEntries {
+	if len(c.victim) < c.cfg.VictimEntries && !c.faults.RefuseVictim() {
 		w := pickLRU(set, true)
 		moved := set[w]
 		moved.victim = true

@@ -193,13 +193,31 @@ func (c *Checker) report(v Violation) {
 // limit; the total including dropped ones is reflected in Err).
 func (c *Checker) Violations() []Violation { return c.violations }
 
-// Err summarises the accumulated violations as an error, or nil.
+// ViolationError is the error Err returns: the total violation count plus
+// the first violation's structured record, so callers can branch on the
+// Kind (through errors.As, even when wrapped or joined) instead of parsing
+// the message.
+type ViolationError struct {
+	// Count is the total number of violations, including any dropped beyond
+	// the retention limit.
+	Count int
+	// First is the first violation recorded.
+	First Violation
+}
+
+func (e *ViolationError) Error() string {
+	return fmt.Sprintf("checker: %d violation(s), first: %s", e.Count, e.First)
+}
+
+// Kind reports which memory-consistency contract the first violation broke.
+func (e *ViolationError) Kind() Kind { return e.First.Kind }
+
+// Err summarises the accumulated violations as a *ViolationError, or nil.
 func (c *Checker) Err() error {
 	if len(c.violations) == 0 {
 		return nil
 	}
-	return fmt.Errorf("checker: %d violation(s), first: %s",
-		len(c.violations)+c.dropped, c.violations[0])
+	return &ViolationError{Count: len(c.violations) + c.dropped, First: c.violations[0]}
 }
 
 // Stats reports how much the checker has validated.

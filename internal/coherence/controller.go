@@ -48,9 +48,28 @@ type mshr struct {
 	pendingProbes []stamp.Stamp
 
 	// conflictLost: while pending we learned of a conflicting request with
-	// an earlier timestamp that we cannot service yet (no data). When data
-	// arrives we must service the chain and restart.
+	// an earlier timestamp chained directly at this MSHR. Enforced at fill
+	// by serviceChain's re-resolution (lose: abort, then service); kept
+	// here for diagnosis.
 	conflictLost bool
+
+	// probeLost: a probe carrying a timestamp earlier than our
+	// transaction's transited this MSHR on its way upstream (§3.1.1,
+	// Figure 6) — a conflicting older transaction waits somewhere DEEPER
+	// in the chain behind us, beyond the entries serviceChain re-resolves
+	// at fill. Probes are edge-triggered: they chase the data holder of
+	// the moment, so once we fill and become the holder ourselves the
+	// older transaction has no way to re-probe us, and if our deferrals
+	// then park the chain while we block on another contested line, the
+	// Figure 6 wait cycle re-forms around us with no message left to break
+	// it. Pre-emptively losing at fill whenever this flag is set would
+	// close that window but converts nearly every probe transit into an
+	// abort and collapses TLR's high-contention scaling; instead the
+	// machine's deadlock recovery (proc.runLoop) squashes the youngest
+	// deferring transaction if the cycle actually completes. The flag is
+	// kept as a diagnostic: a deadlocked dump showing probeLost on a
+	// filled-and-deferring holder is this exact race.
+	probeLost bool
 
 	// handedOff: an ownership-taking request has chained here, so the
 	// ownership of record has moved on; later requests chain at the new
@@ -353,9 +372,10 @@ const (
 func (c *Controller) StoreFast(a memsys.Addr, v uint64) StoreOutcome {
 	if c.eng.Speculating() {
 		c.stats.Stores++
-		if !c.wb.Write(a, v) {
-			// Write-buffer capacity exhausted: resource misspeculation and
-			// lock acquisition (§3.3).
+		if c.sys.Faults.RefuseWB() || !c.wb.Write(a, v) {
+			// Write-buffer capacity exhausted (or injected capacity
+			// pressure): resource misspeculation and lock acquisition
+			// (§3.3).
 			c.stats.SpecOverflows++
 			c.AbortTxn(core.ReasonResource)
 			return StoreAborted
@@ -782,8 +802,8 @@ func (c *Controller) DebugString() string {
 	s := fmt.Sprintf("P%d eng=%v aborted=%v deferred=%d wbLines=%d commitWaiter=%v",
 		c.id, c.eng.Mode(), c.eng.Aborted(), c.eng.DeferredLen(), c.wb.LineCount(), c.commitWaiter != nil)
 	for line, m := range c.mshrs {
-		s += fmt.Sprintf("\n  mshr %s kind=%v ordered=%v chain=%d handedOff=%v upstream=%d(%v) waiters=%d spec=%v conflictLost=%v",
-			line, m.kind, m.ordered, len(m.chain), m.handedOff, m.upstream, m.hasUpstream, len(m.waiters), m.spec, m.conflictLost)
+		s += fmt.Sprintf("\n  mshr %s kind=%v ordered=%v chain=%d handedOff=%v upstream=%d(%v) waiters=%d spec=%v conflictLost=%v probeLost=%v",
+			line, m.kind, m.ordered, len(m.chain), m.handedOff, m.upstream, m.hasUpstream, len(m.waiters), m.spec, m.conflictLost, m.probeLost)
 	}
 	for line, subs := range c.lineSubs {
 		st := "absent"

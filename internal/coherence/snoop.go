@@ -464,8 +464,16 @@ func (c *Controller) Deliver(msg bus.Msg) {
 }
 
 func (c *Controller) deliverProbe(p *bus.Probe) {
-	// Still pending ourselves: pass it further upstream.
+	// Still pending ourselves: pass it further upstream. A transited probe
+	// carrying a timestamp earlier than our transaction's also means a
+	// conflicting OLDER transaction waits somewhere deeper in the chain
+	// behind us; record it (diagnostic only — see the probeLost field for
+	// why acting on it here is wrong).
 	if m, ok := c.mshrs[p.Line]; ok && m.ordered {
+		if m.spec && c.eng.Speculating() && p.Stamp.Valid &&
+			c.eng.StampBefore(p.Stamp, c.eng.Stamp()) {
+			m.probeLost = true
+		}
 		c.probeUpstream(m, p.Stamp)
 		return
 	}

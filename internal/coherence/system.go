@@ -18,6 +18,7 @@ import (
 	"tlrsim/internal/cache"
 	"tlrsim/internal/checker"
 	"tlrsim/internal/core"
+	"tlrsim/internal/fault"
 	"tlrsim/internal/memsys"
 	"tlrsim/internal/metrics"
 	"tlrsim/internal/sim"
@@ -60,8 +61,23 @@ type System struct {
 	// disabled; every method on it is nil-safe).
 	Metrics *metrics.Set
 
+	// Faults, when attached, is the deterministic fault injector (nil when
+	// disabled; every method on it is nil-safe).
+	Faults *fault.Injector
+
 	cfg       Config
 	lockLines map[memsys.Addr]bool
+}
+
+// SetFaults attaches (or with nil detaches) the fault injector on the
+// system and every component holding its own reference (bus arbitration and
+// per-CPU victim caches).
+func (s *System) SetFaults(in *fault.Injector) {
+	s.Faults = in
+	s.Bus.SetFaults(in)
+	for _, c := range s.Ctrls {
+		c.cache.SetFaults(in)
+	}
 }
 
 // AttachChecker enables the functional checker; workload Setup writes are

@@ -142,6 +142,16 @@ type Policy struct {
 	// guaranteeing forward progress without the RMW predictor (§3.1.2).
 	UpgradeViolationLimit int
 
+	// MaxRestarts, when >0, bounds how many times one critical-section
+	// attempt may abort-and-retry before the engine falls back to acquiring
+	// the lock, regardless of abort reason. 0 (the default) preserves the
+	// paper's behaviour: TLR retries conflict-class aborts indefinitely,
+	// relying on timestamp fairness for progress. The explicit cap is the
+	// bounded-retries half of the fault layer's degradation contract —
+	// under an adversarial abort storm every CPU still commits or reaches
+	// ModeFallback within MaxRestarts attempts.
+	MaxRestarts int
+
 	// RetentionNACK selects NACK-based ownership retention instead of the
 	// paper's default deferral (§3 contrasts the two): a conflict-winning
 	// owner refuses the request outright and the requester retries after a
@@ -342,6 +352,11 @@ func (e *Engine) Stamp() stamp.Stamp {
 
 // ClockValue exposes the logical clock for invariant checks.
 func (e *Engine) ClockValue() uint64 { return e.clk.Value() }
+
+// SkewClock advances the logical clock by n without a commit — fault
+// injection's adversarial initial timestamp assignment. Callers apply it
+// once per run, immediately after construction or Reset.
+func (e *Engine) SkewClock(n uint64) { e.clk.Skew(n) }
 
 // Speculating reports whether a transaction is in flight.
 func (e *Engine) Speculating() bool { return e.mode == ModeSpec }
@@ -553,9 +568,14 @@ func (e *Engine) AckAbort() {
 // scheme should stop eliding and acquire the lock. TLR only falls back on
 // resource-class aborts; SLE also gives up after SLERestartLimit conflict
 // restarts (it has no conflict-resolution scheme to make retrying fair).
+// When Policy.MaxRestarts is set, both schemes additionally fall back once
+// one attempt has aborted that many times, whatever the reasons.
 func (e *Engine) ShouldFallback(r Reason) bool {
 	switch r {
 	case ReasonResource, ReasonUntimestamped:
+		return true
+	}
+	if e.pol.MaxRestarts > 0 && e.restartsThisAttempt >= e.pol.MaxRestarts {
 		return true
 	}
 	if !e.pol.EnableTLR {

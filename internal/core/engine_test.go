@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -196,26 +197,104 @@ func TestUntimestampedPolicyDeferByDefault(t *testing.T) {
 	}
 }
 
+// TestFallbackRules pins the full degradation contract: the decision
+// ShouldFallback gives for every abort Reason under each scheme, both on a
+// fresh attempt and as restarts accumulate. Resource-class reasons
+// (resource exhaustion §3.3, untimestamped data race §2.2) force immediate
+// lock acquisition under either scheme; conflict-class reasons retry — TLR
+// indefinitely (timestamp fairness guarantees eventual success), SLE only
+// up to SLERestartLimit. Policy.MaxRestarts is the outermost safety net:
+// once one attempt aborts that many times, both schemes acquire regardless
+// of reason.
 func TestFallbackRules(t *testing.T) {
-	tlr := tlrEngine(0)
-	if tlr.ShouldFallback(ReasonConflict) || tlr.ShouldFallback(ReasonProbe) || tlr.ShouldFallback(ReasonUpgrade) {
-		t.Fatal("TLR must not fall back on conflict-class aborts")
+	immediate := map[Reason]bool{
+		ReasonNone:          false,
+		ReasonConflict:      false,
+		ReasonUpgrade:       false,
+		ReasonProbe:         false,
+		ReasonResource:      true,
+		ReasonUntimestamped: true,
+		ReasonLockWrite:     false,
+		ReasonExplicit:      false,
 	}
-	if !tlr.ShouldFallback(ReasonResource) || !tlr.ShouldFallback(ReasonUntimestamped) {
-		t.Fatal("TLR must fall back on resource-class aborts")
+	schemes := []struct {
+		name string
+		mk   func(int) *Engine
+	}{
+		{"TLR", tlrEngine},
+		{"SLE", sleEngine},
 	}
-	sle := sleEngine(0)
-	beginTx(sle)
-	sle.Abort(ReasonConflict)
-	sle.AckAbort()
-	if sle.ShouldFallback(ReasonConflict) {
-		t.Fatal("SLE should retry once before acquiring")
+	for _, s := range schemes {
+		for _, r := range Reasons() {
+			want, known := immediate[r]
+			if !known {
+				t.Fatalf("Reason %v missing from the matrix — a new reason must take a position here", r)
+			}
+			t.Run(fmt.Sprintf("%s/fresh/%v", s.name, r), func(t *testing.T) {
+				if got := s.mk(0).ShouldFallback(r); got != want {
+					t.Fatalf("fresh attempt: ShouldFallback(%v) = %v, want %v", r, got, want)
+				}
+			})
+		}
 	}
-	beginTx(sle)
-	sle.Abort(ReasonConflict)
-	sle.AckAbort()
+
+	// SLE escalation: retries conflict-class aborts up to SLERestartLimit
+	// per attempt, then acquires; TLR keeps retrying at the same depth.
+	restartOnce := func(e *Engine) {
+		beginTx(e)
+		e.Abort(ReasonConflict)
+		e.AckAbort()
+	}
+	limit := DefaultPolicy().SLERestartLimit
+	sle, tlr := sleEngine(0), tlrEngine(0)
+	for i := 0; i < limit; i++ {
+		restartOnce(sle)
+		restartOnce(tlr)
+		if sle.ShouldFallback(ReasonConflict) {
+			t.Fatalf("SLE acquired after %d restart(s); limit is %d", i+1, limit)
+		}
+	}
+	restartOnce(sle)
+	restartOnce(tlr)
 	if !sle.ShouldFallback(ReasonConflict) {
-		t.Fatal("SLE should give up after its restart limit")
+		t.Fatalf("SLE must acquire after %d conflict restarts", limit+1)
+	}
+	if tlr.ShouldFallback(ReasonConflict) {
+		t.Fatal("TLR must keep retrying conflicts past the SLE limit")
+	}
+
+	// MaxRestarts escalation: with the cap armed, every reason — even
+	// conflict-class under TLR — acquires once one attempt has aborted cap
+	// times. A fresh attempt resets the count.
+	for _, s := range schemes {
+		t.Run(s.name+"/max-restarts", func(t *testing.T) {
+			const cap = 3
+			e := s.mk(0)
+			pol := e.Policy()
+			pol.MaxRestarts = cap
+			e.Reset(pol)
+			for i := 0; i < cap; i++ {
+				if e.ShouldFallback(ReasonProbe) && !immediate[ReasonProbe] && i < cap {
+					// SLE may hit its own limit first; only TLR asserts
+					// the intermediate state.
+					if s.name == "TLR" {
+						t.Fatalf("fell back after %d restart(s); cap is %d", i, cap)
+					}
+				}
+				restartOnce(e)
+			}
+			for _, r := range Reasons() {
+				if !e.ShouldFallback(r) {
+					t.Fatalf("at the restart cap, ShouldFallback(%v) must be true", r)
+				}
+			}
+			// A finished Critical frame resets the counter; the contract
+			// reverts for the next critical section.
+			e.ResetAttempt()
+			if e.ShouldFallback(ReasonConflict) {
+				t.Fatal("finishing the critical section must reset the restart cap")
+			}
+		})
 	}
 }
 

@@ -1,0 +1,138 @@
+package fault
+
+import (
+	"testing"
+
+	"tlrsim/internal/core"
+)
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	cases := []string{
+		"",
+		"grant=30:50",
+		"nack=25",
+		"grant=10:200,reorder=20,nack=15,abort=30:probe,wb=5,victim=10,skew=1000,msg=20:40,cap=64",
+		"abort=100:resource",
+	}
+	for _, c := range cases {
+		sp, err := ParseSpec(c)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", c, err)
+		}
+		got := sp.String()
+		sp2, err := ParseSpec(got)
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", got, err)
+		}
+		if sp2 != sp {
+			t.Fatalf("round trip %q -> %q: %+v vs %+v", c, got, sp, sp2)
+		}
+	}
+}
+
+func TestParseSpecDefaults(t *testing.T) {
+	sp, err := ParseSpec("abort=50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.AbortReason != core.ReasonConflict {
+		t.Fatalf("default abort reason = %v, want conflict", sp.AbortReason)
+	}
+	sp, err = ParseSpec("grant=50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.GrantDelayMax != 50 {
+		t.Fatalf("default grant delay max = %d, want 50", sp.GrantDelayMax)
+	}
+	if sp, _ := ParseSpec(""); sp != (Spec{}) {
+		t.Fatalf("empty spec should be the zero value, got %+v", sp)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, c := range []string{"grant", "grant=x", "grant=101", "abort=10:bogus", "zap=1"} {
+		if _, err := ParseSpec(c); err == nil {
+			t.Fatalf("ParseSpec(%q): expected error", c)
+		}
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in != New(Spec{}) {
+		t.Fatal("disabled spec must construct as nil")
+	}
+	if in.GrantDelay() != 0 || in.PickGrant(8) != 0 || in.ForceNack() ||
+		in.RefuseWB() || in.RefuseVictim() || in.StampSkew(3) != 0 || in.MsgDelay() != 0 {
+		t.Fatal("nil injector injected something")
+	}
+	if _, ok := in.ForceAbort(); ok {
+		t.Fatal("nil injector forced an abort")
+	}
+	if in.Stats() != (Stats{}) || in.Spec() != (Spec{}) {
+		t.Fatal("nil injector has state")
+	}
+	in.Reset() // must not panic
+}
+
+func TestDeterministicReplayAfterReset(t *testing.T) {
+	sp, err := ParseSpec("grant=50:100,reorder=50,nack=50,abort=50,wb=50,victim=50,msg=50,skew=500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Seed = 7
+	in := New(sp)
+	draw := func() [16]uint64 {
+		var out [16]uint64
+		for i := 0; i < 4; i++ {
+			out[4*i] = in.GrantDelay()
+			out[4*i+1] = uint64(in.PickGrant(5))
+			if in.ForceNack() {
+				out[4*i+2] = 1
+			}
+			out[4*i+3] = in.MsgDelay()
+		}
+		return out
+	}
+	first := draw()
+	in.Reset()
+	if second := draw(); second != first {
+		t.Fatalf("reset did not replay: %v vs %v", first, second)
+	}
+}
+
+func TestStampSkewIsPureAndBounded(t *testing.T) {
+	sp := Spec{Seed: 3, SkewMax: 100}
+	in := New(sp)
+	a := in.StampSkew(2)
+	in.GrantDelay() // unrelated axis must not perturb skew
+	if in.StampSkew(2) != a {
+		t.Fatal("skew depends on stream position")
+	}
+	for cpu := 0; cpu < 64; cpu++ {
+		if s := in.StampSkew(cpu); s > 100 {
+			t.Fatalf("skew %d out of bounds", s)
+		}
+	}
+}
+
+func TestRollProbabilities(t *testing.T) {
+	in := New(Spec{Seed: 1, NackPct: 100, AbortPct: 100, AbortReason: core.ReasonProbe})
+	for i := 0; i < 100; i++ {
+		if !in.ForceNack() {
+			t.Fatal("pct=100 must always fire")
+		}
+		r, ok := in.ForceAbort()
+		if !ok || r != core.ReasonProbe {
+			t.Fatalf("abort = (%v,%v)", r, ok)
+		}
+	}
+	st := in.Stats()
+	if st.Nacks != 100 || st.Aborts != 100 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.String() == "none" {
+		t.Fatal("stats should render")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strings"
 
+	"tlrsim/internal/fault"
 	"tlrsim/internal/proc"
 	"tlrsim/internal/runner"
 	"tlrsim/internal/stats"
@@ -54,7 +55,20 @@ type Options struct {
 	// identical either way — machine reset and fork are exact — so this
 	// exists for cross-checking and benchmarking.
 	ColdStart bool
+	// Faults applies a deterministic fault-injection spec (see internal/fault)
+	// to every simulated machine: any experiment can be re-run under injected
+	// adversity to measure degradation. Faulted machines refuse snapshots, so
+	// prefix forking is disabled; each point also arms the forward-progress
+	// watchdog so a genuine stall surfaces as a structured StallError instead
+	// of grinding to the event budget. The zero Spec is fully inert.
+	Faults fault.Spec
 }
+
+// faultStallCycles is the watchdog window armed on faulted experiment
+// machines: generous against the heaviest injected slowdowns (a healthy
+// contended point progresses every few thousand cycles), tiny against the
+// half-billion-event budget a livelock would otherwise grind toward.
+const faultStallCycles = 2_000_000
 
 // DefaultOptions returns the standard experiment configuration.
 func DefaultOptions() Options {
@@ -122,12 +136,20 @@ type point struct {
 // runPoints executes the experiment's points on the worker pool configured
 // by o and returns the results in enumeration order. Fork-grouped points
 // share one snapshotted prefix per group (disabled under Metrics — snapshots
-// refuse metrics machines, whose per-lock profiles forks would share — and
-// under ColdStart).
+// refuse metrics machines, whose per-lock profiles forks would share — under
+// ColdStart, and under fault injection — snapshots cannot carry the
+// injector's stream position).
 func runPoints(o Options, points []point) ([]*stats.Run, error) {
 	jobs := make([]runner.Job, len(points))
-	for i, pt := range points {
+	for i := range points {
+		pt := &points[i]
 		pt.cfg.EnableMetrics = o.Metrics
+		if o.Faults.Enabled() && !pt.cfg.Faults.Enabled() {
+			pt.cfg.Faults = o.Faults
+		}
+		if pt.cfg.Faults.Enabled() && pt.cfg.StallCycles == 0 {
+			pt.cfg.StallCycles = faultStallCycles
+		}
 		jobs[i] = runner.Job{Label: pt.label, Config: pt.cfg, Build: pt.build}
 	}
 	pool := &runner.Pool{Workers: o.Jobs, Progress: o.Progress, Cold: o.ColdStart}
@@ -138,7 +160,7 @@ func runPoints(o Options, points []point) ([]*stats.Run, error) {
 		groups  = map[string]int{}
 	)
 	for i, pt := range points {
-		if groupable && pt.fork != "" {
+		if groupable && pt.fork != "" && !pt.cfg.Faults.Enabled() {
 			if gi, ok := groups[pt.fork]; ok {
 				units[gi].Jobs = append(units[gi].Jobs, jobs[i])
 				unitIdx[gi] = append(unitIdx[gi], i)

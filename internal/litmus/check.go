@@ -127,8 +127,11 @@ func checkPrograms(progs []Program, st EnumStats, opts Options) *Report {
 	if len(opts.Schemes) == 0 {
 		opts.Schemes = DefaultSchemes
 	}
-	if opts.Perturb == (Perturb{}) {
-		opts.Perturb = DefaultPerturb
+	if opts.Perturb.StartJitter == 0 && opts.Perturb.ArbJitter == 0 {
+		// Default the scheduling jitter while keeping any fault spec: chaos
+		// sweeps compose injected adversity with the standard perturbation.
+		opts.Perturb.StartJitter = DefaultPerturb.StartJitter
+		opts.Perturb.ArbJitter = DefaultPerturb.ArbJitter
 	}
 	if opts.MaxDivergences == 0 {
 		opts.MaxDivergences = DefaultMaxDivergences

@@ -5,6 +5,7 @@ import (
 
 	"tlrsim/internal/bus"
 	"tlrsim/internal/cache"
+	"tlrsim/internal/fault"
 	"tlrsim/internal/memsys"
 	"tlrsim/internal/proc"
 )
@@ -20,6 +21,13 @@ type Perturb struct {
 	// ArbJitter adds a seeded-random 0..ArbJitter cycles to every bus grant
 	// (bus.Config.ArbJitter).
 	ArbJitter uint64
+
+	// Faults configures deterministic fault injection for the machine runs
+	// (chaos mode). The analytic reference model is untouched: injected
+	// adversity may change WHICH contained outcome a run lands on, but any
+	// outcome outside the lock-based reference set is still a divergence —
+	// containment must hold under every legal fault configuration.
+	Faults fault.Spec
 }
 
 // DefaultPerturb spreads thread starts across a few hundred cycles (the
@@ -57,6 +65,15 @@ func machineConfig(cpus int, scheme proc.Scheme, seed int64, pt Perturb) proc.Co
 	cfg.Coherence.StoreBufferEntries = 8
 	cfg.MaxEvents = maxEvents
 	cfg.StartJitter = pt.StartJitter
+	if pt.Faults.Enabled() {
+		cfg.Faults = pt.Faults
+		// Faulted runs are slower (grant delays, NACK storms, forced
+		// restarts): give them event-budget headroom so exhaustion cannot
+		// masquerade as a divergence, and arm the watchdog so a genuine
+		// stall diagnoses itself instead of grinding to the budget.
+		cfg.MaxEvents = 8 * maxEvents
+		cfg.StallCycles = 200_000
+	}
 	return cfg
 }
 

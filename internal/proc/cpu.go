@@ -92,6 +92,10 @@ type CPU struct {
 
 	lastOp opKind
 
+	// prog is the forward-progress ledger read by the watchdog and rendered
+	// into StallErrors (stall.go).
+	prog cpuProgress
+
 	stats Stats
 }
 
@@ -197,6 +201,7 @@ func (cpu *CPU) threadDone() {
 	cpu.done = true
 	cpu.finish = cpu.m.K.Now()
 	cpu.stats.Finish = cpu.finish
+	cpu.noteProgress(progressDone)
 }
 
 // issueOp runs o through the one-cycle issue stage. When the issue event
@@ -239,6 +244,21 @@ func (cpu *CPU) startOp(o op) {
 	if cpu.eng.Aborted() && o.kind != opTxBegin {
 		cpu.finishOp(result{aborted: true})
 		return
+	}
+
+	// Injected transaction squash at an operation boundary: models an
+	// asynchronous abort (interrupt, capacity glitch) hitting a live
+	// speculative region. The engine's own restart/fallback policy takes
+	// over from here, exactly as for an organic misspeculation. The Aborted
+	// guard matters: a squashed-but-unacknowledged transaction still reports
+	// Speculating, and re-aborting it is a no-op that would leave the op
+	// permanently incomplete.
+	if cpu.eng.Speculating() && !cpu.eng.Aborted() {
+		if r, ok := cpu.m.faults.ForceAbort(); ok {
+			cpu.ctrl.AbortTxn(r)
+			// onAbort completed the op; nothing more to do.
+			return
+		}
 	}
 
 	switch o.kind {
@@ -322,6 +342,7 @@ func (cpu *CPU) startOp(o op) {
 			cpu.rmw.EndSection()
 			cpu.eng.ResetAttempt()
 			cpu.noteCritDone(o.lock)
+			cpu.noteProgress(progressExit)
 		}
 		cpu.finishOp(result{ok: true})
 	case opUnelidable:
@@ -478,6 +499,7 @@ func (cpu *CPU) txBegin(o op, complete func(result), alive func() bool) {
 			return
 		}
 		reason := cpu.eng.AbortReason()
+		cpu.noteAbort(reason)
 		cpu.eng.AckAbort()
 		if cpu.eng.ShouldFallback(reason) {
 			cpu.pendingFallback = true
@@ -506,6 +528,7 @@ func (cpu *CPU) txBeginDispatch(o op, complete func(result), alive func() bool) 
 }
 
 func (cpu *CPU) txBeginDispatchFenced(o op, complete func(result), alive func() bool) {
+	cpu.prog.lock = o.lock
 	switch cpu.m.cfg.Scheme {
 	case Base:
 		cpu.eng.EnterCritical(false)
@@ -513,6 +536,8 @@ func (cpu *CPU) txBeginDispatchFenced(o op, complete func(result), alive func() 
 		if p := o.lock.prof; p != nil {
 			p.Acquires++
 		}
+		cpu.prog.acquires++
+		cpu.noteProgress(progressAcquire)
 		complete(result{mode: CritAcquireTTS})
 		return
 	case MCS:
@@ -521,21 +546,31 @@ func (cpu *CPU) txBeginDispatchFenced(o op, complete func(result), alive func() 
 		if p := o.lock.prof; p != nil {
 			p.Acquires++
 		}
+		cpu.prog.acquires++
+		cpu.noteProgress(progressAcquire)
 		complete(result{mode: CritAcquireMCS})
 		return
 	}
 	if cpu.pendingFallback || !cpu.eng.CanElide() || !cpu.elide.ShouldElide(o.lock.ID) {
+		kind := progressAcquire
 		if cpu.pendingFallback {
 			cpu.pendingFallback = false
 			cpu.eng.NoteFallback()
 			cpu.m.mx.NoteFallback(cpu.id, o.lock.prof)
 			cpu.m.Sys.Trace(cpu.id, trace.Fallback, o.lock.Addr, "")
+			cpu.prog.fallbacks++
+			// The attempt that escalated carries its restart count until the
+			// next elision attempt; record it as this attempt's retry depth.
+			cpu.noteRetries(uint64(cpu.eng.Restarts()))
+			kind = progressFallback
 		}
 		cpu.eng.EnterCritical(false)
 		o.lock.stats.Acquired++
 		if p := o.lock.prof; p != nil {
 			p.Acquires++
 		}
+		cpu.prog.acquires++
+		cpu.noteProgress(kind)
 		complete(result{mode: CritAcquireTTS})
 		return
 	}
@@ -648,7 +683,10 @@ func (cpu *CPU) txEnd(o op, complete func(result)) {
 		cpu.rmw.EndSection()
 		cpu.eng.ResetAttempt()
 		cpu.m.mx.NoteRetries(retries)
+		cpu.noteRetries(retries)
 		cpu.noteCritDone(o.lock)
+		cpu.prog.commits++
+		cpu.noteProgress(progressCommit)
 		complete(result{ok: true})
 	})
 }

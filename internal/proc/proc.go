@@ -23,6 +23,7 @@ import (
 	"tlrsim/internal/checker"
 	"tlrsim/internal/coherence"
 	"tlrsim/internal/core"
+	"tlrsim/internal/fault"
 	"tlrsim/internal/locks"
 	"tlrsim/internal/memsys"
 	"tlrsim/internal/metrics"
@@ -92,6 +93,20 @@ type Config struct {
 	// MaxEvents bounds a run (runaway/livelock guard).
 	MaxEvents uint64
 
+	// StallCycles, when positive, arms the forward-progress watchdog: if no
+	// CPU commits, acquires, falls back, exits a critical section, or
+	// finishes for StallCycles simulated cycles, the run fails with a
+	// StallError diagnosing which CPUs stopped where — long before the event
+	// budget grinds out. Zero disables the watchdog (the event budget and
+	// deadlock detector still produce structured StallErrors).
+	StallCycles uint64
+
+	// Faults configures deterministic fault injection (zero value: disabled,
+	// and the machine is byte-identical to one built without the field). The
+	// injector draws from its own seeded stream, never the kernel RNG, so
+	// runs remain pure functions of (Config, Seed, Faults). See fault.Spec.
+	Faults fault.Spec
+
 	// StartJitter, when positive, delays each thread's first fetch by a
 	// uniformly random 0..StartJitter cycles drawn from the kernel's seeded
 	// stream. It is the scheduling-perturbation knob for litmus exploration:
@@ -140,6 +155,13 @@ func (c Config) policy() core.Policy {
 		p.EnableTLR = true
 		p.StrictTimestamps = true
 	}
+	// The fault spec's restart cap is the bounded-retries half of the
+	// degradation contract: under injected adversity every CPU must commit or
+	// reach fallback within a bounded number of restarts. An explicit Policy
+	// cap wins; otherwise the spec's flows through.
+	if c.Faults.RestartCap > 0 && p.MaxRestarts == 0 {
+		p.MaxRestarts = c.Faults.RestartCap
+	}
 	return p
 }
 
@@ -153,6 +175,20 @@ type Machine struct {
 	cfg        Config
 	nextLockID int
 	mx         *metrics.Set
+
+	// faults is the deterministic fault injector (nil when disabled: every
+	// injection site costs one pointer test and the machine behaves exactly
+	// as before the fault layer existed).
+	faults *fault.Injector
+
+	// lastProgressAt is the cycle of the most recent forward-progress event
+	// on any CPU (the watchdog horizon; see stall.go).
+	lastProgressAt sim.Time
+
+	// deadlockRecoveries counts wait-cycle squashes (stall.go): times the
+	// event queue ran dry with blocked threads and the machine aborted the
+	// youngest deferring transaction to restore flow.
+	deadlockRecoveries uint64
 }
 
 // NewMachine builds the machine: kernel, bus, caches, engines, CPUs.
@@ -168,10 +204,21 @@ func NewMachine(cfg Config) *Machine {
 	}
 	sys := coherence.NewSystem(k, cfg.Procs, cfg.Coherence, engines)
 	m := &Machine{
-		K:     k,
-		Sys:   sys,
-		Alloc: memsys.NewAllocator(allocBase),
-		cfg:   cfg,
+		K:      k,
+		Sys:    sys,
+		Alloc:  memsys.NewAllocator(allocBase),
+		cfg:    cfg,
+		faults: fault.New(cfg.Faults),
+	}
+	sys.SetFaults(m.faults)
+	// Adversarial timestamp assignment: skew each engine's TLR clock by a
+	// per-CPU seeded offset, perturbing every initial age order the paper's
+	// fairness argument must tolerate (§3.1: any timestamps work as long as
+	// they are eventually updated on success).
+	for i, e := range engines {
+		if s := m.faults.StampSkew(i); s > 0 {
+			e.SkewClock(s)
+		}
 	}
 	if cfg.EnableChecker {
 		sys.AttachChecker(checker.New())
@@ -269,22 +316,39 @@ func (m *Machine) startDelay(cpu int) uint64 {
 	return startDelay(m.cfg.Seed, cpu) % (m.cfg.StartJitter + 1)
 }
 
-// runLoop is the shared event loop behind Run and runScripted.
+// runLoop is the shared event loop behind Run and runScripted. All three
+// failure exits (event budget, deadlock, watchdog) return a structured
+// *StallError (stall.go) joined with any checker divergence.
 func (m *Machine) runLoop() error {
 	m.mx.Registry().StartSamplers(m.K)
+	m.lastProgressAt = m.K.Now()
+	watchdog := m.cfg.StallCycles
+	var iter uint64
 	for {
 		if m.allDone() {
 			break
 		}
 		if m.K.Fired() >= m.cfg.MaxEvents {
-			return errors.Join(
-				fmt.Errorf("proc: event budget %d exhausted at cycle %d (livelock?)", m.cfg.MaxEvents, m.K.Now()),
-				m.CheckerErr())
+			return errors.Join(m.stallError(StallEventBudget), m.CheckerErr())
+		}
+		// The watchdog check reads only host-side counters — no kernel
+		// events, so arming it cannot perturb the simulated schedule. It is
+		// checked every 1024 loop iterations to keep the hot loop clean.
+		iter++
+		if watchdog > 0 && iter&1023 == 0 {
+			if now := m.K.Now(); now > m.lastProgressAt && uint64(now-m.lastProgressAt) > watchdog {
+				return errors.Join(m.stallError(StallWatchdog), m.CheckerErr())
+			}
 		}
 		if !m.K.Step() {
-			return errors.Join(
-				fmt.Errorf("proc: deadlock at cycle %d: %s", m.K.Now(), m.describeStall()),
-				m.CheckerErr())
+			// Event queue dry with threads still blocked: a closed wait
+			// cycle (see recoverDeadlock). Squash the youngest deferring
+			// transaction and keep going; fail only when no candidate
+			// remains.
+			if m.recoverDeadlock() {
+				continue
+			}
+			return errors.Join(m.stallError(StallDeadlock), m.CheckerErr())
 		}
 	}
 	// Stop samplers before draining: a self-rescheduling sampler tick would
@@ -314,16 +378,6 @@ func (m *Machine) allDone() bool {
 		}
 	}
 	return true
-}
-
-func (m *Machine) describeStall() string {
-	s := ""
-	for _, c := range m.CPUs {
-		if !c.done {
-			s += fmt.Sprintf(" P%d(mode=%v)", c.id, c.eng.Mode())
-		}
-	}
-	return "blocked:" + s
 }
 
 // InjectDeschedule models the operating system preempting the thread on cpu
@@ -359,6 +413,14 @@ func (m *Machine) Trace() *trace.Tracer { return m.Sys.Tracer }
 // Metrics returns the attached observability instrument set (nil unless
 // EnableMetrics was set; all methods on a nil set are no-ops).
 func (m *Machine) Metrics() *metrics.Set { return m.mx }
+
+// Faults returns the attached fault injector (nil unless Config.Faults is
+// enabled; all methods on a nil injector are no-ops).
+func (m *Machine) Faults() *fault.Injector { return m.faults }
+
+// FaultStats reports how many injections of each kind fired this run (zero
+// value when injection is disabled).
+func (m *Machine) FaultStats() fault.Stats { return m.faults.Stats() }
 
 // CheckerErr reports functional-checker violations (nil when the checker is
 // disabled or everything validated).

@@ -8,6 +8,7 @@ import (
 	"tlrsim/internal/cache"
 	"tlrsim/internal/coherence"
 	"tlrsim/internal/core"
+	"tlrsim/internal/fault"
 	"tlrsim/internal/memsys"
 )
 
@@ -159,9 +160,24 @@ func (m *Machine) Reset(cfg Config) error {
 	}
 	m.K.Reset(cfg.Seed)
 	pol := cfg.policy()
+	// Rewind (same spec) or rebuild (spec changed) the fault injector. The
+	// spec is a reset knob, not shape: a pooled machine alternates freely
+	// between clean and faulted runs, and a rewound injector replays the
+	// identical fault stream.
+	if cfg.Faults == m.cfg.Faults {
+		m.faults.Reset()
+	} else {
+		m.faults = fault.New(cfg.Faults)
+		m.Sys.SetFaults(m.faults)
+	}
 	m.cfg = cfg // before cpu/engine reset: policy derivation must see cfg
+	m.lastProgressAt = 0
+	m.deadlockRecoveries = 0
 	for _, c := range m.CPUs {
 		c.eng.Reset(pol)
+		if s := m.faults.StampSkew(c.id); s > 0 {
+			c.eng.SkewClock(s)
+		}
 		c.reset()
 	}
 	m.Sys.Reset()
@@ -194,6 +210,7 @@ func (cpu *CPU) reset() {
 	cpu.critStart = 0
 	cpu.critLock = nil
 	cpu.lastOp = 0
+	cpu.prog = cpuProgress{}
 	cpu.stats = Stats{}
 }
 
@@ -223,6 +240,10 @@ func (cpu *CPU) adoptState(src *CPU) {
 	cpu.critStart = 0
 	cpu.critLock = nil
 	cpu.lastOp = src.lastOp
+	cpu.prog = src.prog
+	// The lock pointer belongs to the source machine's workload objects;
+	// the adopting machine's next phase allocates its own locks.
+	cpu.prog.lock = nil
 	cpu.stats = src.stats
 }
 
@@ -237,6 +258,8 @@ func (m *Machine) adoptState(src *Machine) {
 	}
 	m.Alloc.AdoptState(src.Alloc)
 	m.nextLockID = src.nextLockID
+	m.lastProgressAt = src.lastProgressAt
+	m.deadlockRecoveries = src.deadlockRecoveries
 }
 
 // Snapshot is a frozen deep copy of a quiescent machine, taken with
@@ -269,6 +292,11 @@ func (m *Machine) Snapshot() (*Snapshot, error) {
 	if m.cfg.EnableMetrics {
 		return nil, errors.New("proc: Snapshot with metrics attached")
 	}
+	if m.cfg.Faults.Enabled() {
+		// The injector's stream position is mid-sweep state the image does
+		// not carry; faulted sweeps use Reset pooling instead.
+		return nil, errors.New("proc: Snapshot with fault injection enabled")
+	}
 	if err := m.requireQuiescent(); err != nil {
 		return nil, err
 	}
@@ -289,6 +317,9 @@ func (s *Snapshot) Fork(cfg Config) (*Machine, error) {
 	if cfg.TraceSink != nil {
 		return nil, errors.New("proc: Fork with a trace sink attached")
 	}
+	if cfg.Faults.Enabled() {
+		return nil, errors.New("proc: Fork with fault injection enabled")
+	}
 	if cfg.ResetShape() != s.cfg.ResetShape() {
 		return nil, fmt.Errorf("proc: Fork shape mismatch: snapshot %+v, want %+v",
 			s.cfg.ResetShape(), cfg.ResetShape())
@@ -305,6 +336,9 @@ func (s *Snapshot) Fork(cfg Config) (*Machine, error) {
 // error it is left either untouched or freshly reset, never half-adopted.
 func (s *Snapshot) ForkInto(m *Machine, cfg Config) error {
 	cfg = cfg.withDefaults()
+	if cfg.Faults.Enabled() {
+		return errors.New("proc: ForkInto with fault injection enabled")
+	}
 	if cfg.ResetShape() != s.cfg.ResetShape() {
 		return fmt.Errorf("proc: ForkInto shape mismatch: snapshot %+v, want %+v",
 			s.cfg.ResetShape(), cfg.ResetShape())

@@ -115,6 +115,18 @@ func (c *Clock) Observe(s Stamp) {
 // width are construction-time shape and survive).
 func (c *Clock) Reset() { c.value, c.maxSeen = 0, 0 }
 
+// Skew advances the clock by n without a successful transaction — fault
+// injection's adversarial initial timestamp assignment. Any starting values
+// are legal (timestamps only order conflicts, and Observe/Success re-sync
+// clocks on contact); skewed CPUs simply start as persistent conflict
+// losers. Wrapping clocks reduce the skew into their window.
+func (c *Clock) Skew(n uint64) {
+	if c.bits > 0 {
+		n &= uint64(1)<<c.bits - 1
+	}
+	c.value += n
+}
+
 // AdoptState copies the logical-clock position from src (snapshot restore).
 func (c *Clock) AdoptState(src *Clock) { c.value, c.maxSeen = src.value, src.maxSeen }
 

@@ -45,6 +45,9 @@ func Collect(m *proc.Machine) *Run {
 	r.DataMsgs = bs.DataMsgs
 	r.Markers = bs.Markers
 	r.Probes = bs.Probes
+	r.MaxRetries = m.MaxRetries()
+	r.FaultStats = m.FaultStats()
+	r.DeadlockRecoveries = m.DeadlockRecoveries()
 	r.MetricsDump = m.Metrics().Dump()
 	return r
 }

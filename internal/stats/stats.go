@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"tlrsim/internal/fault"
 )
 
 // Run is the aggregate outcome of one simulation.
@@ -27,6 +29,14 @@ type Run struct {
 	// Memory-system totals.
 	Loads, Stores, Misses, Upgrades, Writebacks uint64
 	BusTxns, DataMsgs, Markers, Probes          uint64
+
+	// Robustness accounting (fault-injection studies): the worst per-attempt
+	// restart depth any CPU reached, the injector's fired counts, and the
+	// number of dry-queue deadlock recoveries (all zero when injection is
+	// disabled; a clean run never triggers recovery).
+	MaxRetries         uint64
+	FaultStats         fault.Stats
+	DeadlockRecoveries uint64
 
 	// MetricsDump is the rendered observability instrument set, captured at
 	// collection because the runner discards the machine ("" when metrics

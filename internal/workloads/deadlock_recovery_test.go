@@ -1,0 +1,61 @@
+package workloads
+
+import (
+	"testing"
+
+	"tlrsim/internal/fault"
+	"tlrsim/internal/proc"
+)
+
+// TestDeadlockRecoveryProbeTransitRace pins the probe-transit wait cycle the
+// robustness sweep's high fault rung exposed (the full trace-level diagnosis
+// lives on proc.Machine.recoverDeadlock and coherence's mshr.probeLost).
+//
+// Probes are edge-triggered: a probe carrying an older conflicting timestamp
+// chases the data holder of the moment through the chain of pending mshrs,
+// and only the holder it lands on re-resolves. A pending requester the probe
+// merely transited can later fill, become the new holder, defer the (younger)
+// chain entries parked behind it, and itself block on a different contested
+// line — re-forming the Figure 6 wait cycle with no message left in flight to
+// break it. Under this fault spec (grant delay + reorder + forced NACKs +
+// forced aborts + message delay) the window is wide enough to hit reliably:
+// before deadlock recovery existed, this exact run starved the event queue
+// dry and failed with StallDeadlock.
+//
+// The pinned contract: the run completes, the coherence/consistency checker
+// stays clean, and recovery actually fired (so the race is exercised, not
+// merely avoided).
+func TestDeadlockRecoveryProbeTransitRace(t *testing.T) {
+	spec, err := fault.ParseSpec("grant=40:40,reorder=25,nack=30,abort=15:conflict,wb=20,msg=25:40,cap=24,seed=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := proc.BaselineConfig(8, proc.TLR, 2002)
+	cfg.StallCycles = 2_000_000
+	cfg.Faults = spec
+	m, err := Run(cfg, &SingleCounter{TotalOps: 512})
+	if err != nil {
+		t.Fatalf("faulted run must terminate checker-clean, got: %v", err)
+	}
+	if m.DeadlockRecoveries() == 0 {
+		t.Fatal("expected the probe-transit wait cycle to form and be recovered; " +
+			"if the protocol now avoids it outright, repoint this test at a spec that still forms it")
+	}
+}
+
+// TestDeadlockRecoveryNeverFiresClean guards the golden-equivalence contract:
+// recovery is a last resort on a dry event queue, and a clean (uninjected)
+// run must never reach that state mid-run. If this fires, clean-run behavior
+// changed and the experiment goldens are no longer trustworthy.
+func TestDeadlockRecoveryNeverFiresClean(t *testing.T) {
+	for _, scheme := range []proc.Scheme{proc.SLE, proc.TLR} {
+		cfg := proc.BaselineConfig(8, scheme, 2002)
+		m, err := Run(cfg, &SingleCounter{TotalOps: 512})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if n := m.DeadlockRecoveries(); n != 0 {
+			t.Fatalf("%v: clean run performed %d deadlock recoveries; want 0", scheme, n)
+		}
+	}
+}

@@ -9,7 +9,11 @@
 # extra testing.ReportMetric values (simcycles, ns/simcycle, allocs/op...).
 # BenchmarkSimulatorThroughputObservability/{off,on} is the pair to watch
 # for observability cost: "off" guards that disabled instruments stay free,
-# "on" records the full instrument-set overhead.
+# "on" records the full instrument-set overhead. Likewise
+# BenchmarkFaultInjection/{off,on} is the faulted-vs-clean delta: "off"
+# guards that the disabled injector's nil-check hooks stay free, "on"
+# records the robustness ladder's medium rung (simcycles delta = simulated
+# price of the adversity, ns/simcycle delta = host-time injection cost).
 set -e
 cd "$(dirname "$0")/.."
 out="${1:-BENCH.json}"

@@ -37,6 +37,8 @@
 package tlrsim
 
 import (
+	"tlrsim/internal/checker"
+	"tlrsim/internal/fault"
 	"tlrsim/internal/memsys"
 	"tlrsim/internal/proc"
 	"tlrsim/internal/stats"
@@ -83,6 +85,27 @@ type Workload = workloads.Workload
 
 // Run is the aggregate measurement of one simulation.
 type Run = stats.Run
+
+// FaultSpec configures deterministic fault injection (Config.Faults and
+// ExperimentOptions.Faults). The zero Spec is fully inert; runs are pure
+// functions of (Config, Seed) with or without injection.
+type FaultSpec = fault.Spec
+
+// ParseFaultSpec parses a comma-separated fault spec such as
+// "nack=25,abort=10:conflict,cap=16,seed=7"; see internal/fault for the
+// key reference. The empty string parses to the inert zero Spec.
+func ParseFaultSpec(s string) (FaultSpec, error) { return fault.ParseSpec(s) }
+
+// StallError is the structured diagnosis of a run that failed to complete
+// (event-budget exhaustion, deadlock, or a forward-progress watchdog stall):
+// per-CPU progress ledgers plus a paste-able reproducer. Extract with
+// errors.As.
+type StallError = proc.StallError
+
+// ViolationError is the functional checker's typed verdict when the timing
+// model broke the memory-consistency contract; its Kind method classifies
+// which contract. Extract with errors.As.
+type ViolationError = checker.ViolationError
 
 // DefaultConfig returns the paper's Table 2 target system: 128 KB 4-way L1
 // caches with 64-byte lines and a 16-entry victim cache, a 64-line

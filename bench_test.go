@@ -12,6 +12,8 @@ import (
 	"testing"
 
 	"tlrsim"
+	"tlrsim/internal/telemetry"
+	"tlrsim/internal/workloads"
 )
 
 // benchWorkload runs one (workload, scheme, procs) configuration per
@@ -276,6 +278,41 @@ func BenchmarkFaultInjection(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
+				total += uint64(m.Cycles())
+			}
+			b.ReportMetric(float64(total)/float64(b.N), "simcycles")
+			if total > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(total), "ns/simcycle")
+			}
+		})
+	}
+}
+
+// BenchmarkTelemetry measures what windowed tail-latency telemetry costs on
+// the open-loop service workload: recorder detached ("off" — the standing
+// guard that a nil Recorder stays one pointer test per request) and attached
+// with default windows ("on" — per-request histogram observes plus amortised
+// window closes). The off-vs-on ns/simcycle delta is the telemetry overhead
+// BENCH_<n>.json tracks.
+func BenchmarkTelemetry(b *testing.B) {
+	for _, enabled := range []bool{false, true} {
+		name := "off"
+		if enabled {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var total uint64
+			for i := 0; i < b.N; i++ {
+				w := &workloads.Service{Requests: 1024, MeanGap: 1200, Seed: 5}
+				if enabled {
+					w.Rec = telemetry.NewRecorder(telemetry.Config{})
+				}
+				m, err := tlrsim.RunWorkload(tlrsim.DefaultConfig(8, tlrsim.TLR), w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				w.Rec.Finish(uint64(m.Cycles()))
 				total += uint64(m.Cycles())
 			}
 			b.ReportMetric(float64(total)/float64(b.N), "simcycles")

@@ -10,9 +10,10 @@
 //	tlrsim -experiment fig9 -metrics metrics.txt
 //
 // Experiments: table1, table2, fig8, fig9, fig10, fig11, coarse, rmw,
-// nack, queue, victim, penalty, storebuf, robust, all. ("all" runs the
-// paper reproduction suite; "robust" — the fault-intensity degradation
-// sweep — is run explicitly.)
+// nack, queue, victim, penalty, storebuf, robust, service, all. ("all" runs
+// the paper reproduction suite; "robust" — the fault-intensity degradation
+// sweep — and "service" — the open-loop steady-state tail-latency study —
+// are run explicitly.)
 //
 // Simulated machines are independent deterministic runs, so -jobs N
 // executes up to N of them concurrently on host cores (default
@@ -33,6 +34,17 @@
 // histograms, per-lock contention profiles, time-series samples — to FILE,
 // grouped per experiment. The instruments never alter simulation results;
 // the primary report is byte-identical with and without -metrics.
+//
+// The service experiment (-experiment service) drives an open-loop
+// lock-based KV store with deterministic Poisson arrivals and reports
+// windowed p50/p99/p999 tail latency (end-to-end and critical-section)
+// under BASE, MCS, and TLR. -telemetry FILE streams every closed window
+// (JSONL, or CSV when FILE ends in .csv); -windows N sets the window length
+// in simulated cycles. -flight N arms an N-event post-mortem flight
+// recorder on every machine: when a run stalls or trips the checker, the
+// failure report dumps the last N protocol events alongside the per-CPU
+// progress ledger. Like -metrics, neither telemetry nor the flight recorder
+// alters simulation results.
 package main
 
 import (
@@ -73,7 +85,7 @@ func exitStatus(err error, stderr io.Writer) int {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("tlrsim", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "experiment to run: table1, table2, fig8, fig9, fig10, fig11, coarse, rmw, nack, queue, victim, penalty, storebuf, robust, all")
+		experiment = fs.String("experiment", "all", "experiment to run: table1, table2, fig8, fig9, fig10, fig11, coarse, rmw, nack, queue, victim, penalty, storebuf, robust, service, all")
 		ops        = fs.Float64("ops", 1.0, "operation-count scale factor (1.0 = harness defaults; raise toward paper scale)")
 		seed       = fs.Int64("seed", 2002, "random seed (runs are deterministic per seed)")
 		procsFlag  = fs.String("procs", "2,4,8,16", "comma-separated processor counts for figure sweeps")
@@ -87,6 +99,9 @@ func run(args []string, stdout io.Writer) error {
 		memprofile = fs.String("memprofile", "", "write an allocation profile to this file at exit")
 		faultSpec  = fs.String("faults", "", "fault-injection spec applied to every simulated machine (e.g. \"nack=25,abort=10:conflict,cap=16\"; see internal/fault)")
 		faultSeed  = fs.Int64("fault-seed", 0, "fault-injector stream seed (overrides seed= in -faults when nonzero)")
+		telemetry  = fs.String("telemetry", "", "write the service experiment's per-window telemetry stream to this file (JSONL, or CSV when the name ends in .csv)")
+		windows    = fs.Uint64("windows", 100_000, "telemetry tumbling-window length in simulated cycles (service experiment)")
+		flight     = fs.Int("flight", 0, "arm an N-event flight recorder on every machine; stall and violation reports dump the ring")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,9 +113,19 @@ func run(args []string, stdout io.Writer) error {
 	if *faultSeed != 0 {
 		faults.Seed = *faultSeed
 	}
+	if *format != "table" && *format != "csv" {
+		fs.Usage()
+		return fmt.Errorf("unknown -format %q (want table or csv)", *format)
+	}
 	asCSV := *format == "csv"
 	if *jobs < 1 {
 		return fmt.Errorf("-jobs must be >= 1")
+	}
+	if *telemetry != "" && *experiment != "service" {
+		return fmt.Errorf("-telemetry applies only to -experiment service (got %q)", *experiment)
+	}
+	if *flight < 0 {
+		return fmt.Errorf("-flight must be >= 0")
 	}
 
 	if *cpuprofile != "" {
@@ -150,6 +175,7 @@ func run(args []string, stdout io.Writer) error {
 	o.Metrics = metricsFile != nil
 	o.ColdStart = *coldstart
 	o.Faults = faults
+	o.Flight = *flight
 	if *verbose {
 		o.Progress = func(done, total int, label string, run *tlrsim.Run) {
 			fmt.Fprintf(os.Stderr, "tlrsim: [%d/%d] %s: %d cycles\n", done, total, label, run.Cycles)
@@ -232,6 +258,20 @@ func run(args []string, stdout io.Writer) error {
 			return report(name, r, err)
 		case "robust":
 			r, err := tlrsim.RobustnessSweep(o)
+			return report(name, r, err)
+		case "service":
+			so := tlrsim.DefaultServiceExperimentOptions()
+			so.WindowCycles = *windows
+			if *telemetry != "" {
+				f, err := os.Create(*telemetry)
+				if err != nil {
+					return fmt.Errorf("-telemetry: %v", err)
+				}
+				defer f.Close()
+				so.Telemetry = f
+				so.CSV = strings.HasSuffix(*telemetry, ".csv")
+			}
+			r, err := tlrsim.ServiceSweep(o, so)
 			return report(name, r, err)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)

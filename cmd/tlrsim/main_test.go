@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -25,6 +26,9 @@ func TestRunRejectsBadInputs(t *testing.T) {
 		{"faults-key", []string{"-faults", "bogus=5"}, "-faults:"},
 		{"faults-value", []string{"-faults", "nack=notanumber"}, "-faults:"},
 		{"faults-range", []string{"-faults", "nack=150"}, "-faults:"},
+		{"format", []string{"-format", "nope"}, `unknown -format "nope"`},
+		{"telemetry-non-service", []string{"-experiment", "fig8", "-telemetry", "w.jsonl"}, "-telemetry applies only to -experiment service"},
+		{"flight-negative", []string{"-flight", "-2"}, "-flight must be >= 0"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -121,6 +125,87 @@ func TestExitStatus(t *testing.T) {
 				t.Fatalf("stderr %q, want containing %q", stderr.String(), c.wantStderr)
 			}
 		})
+	}
+}
+
+// TestRunServiceTelemetry exercises the service experiment end to end: the
+// report renders, the -telemetry JSONL stream parses with monotone
+// quantiles, and the primary report is byte-identical with and without the
+// stream attached.
+func TestRunServiceTelemetry(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "windows.jsonl")
+	args := []string{"-experiment", "service", "-ops", "0.1", "-app-procs", "4"}
+	var out bytes.Buffer
+	if err := run(append(args, "-telemetry", path), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Open-loop service") {
+		t.Fatalf("missing report title:\n%s", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("telemetry stream too short:\n%s", data)
+	}
+	for _, line := range lines {
+		var w struct {
+			Label string                          `json:"label"`
+			E2E   struct{ P50, P99, P999 uint64 } `json:"e2e"`
+		}
+		if err := json.Unmarshal([]byte(line), &w); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		if w.Label == "" {
+			t.Fatalf("line missing label: %q", line)
+		}
+		if !(w.E2E.P50 <= w.E2E.P99 && w.E2E.P99 <= w.E2E.P999) {
+			t.Fatalf("quantiles not monotone: %q", line)
+		}
+	}
+	// The primary report must be byte-identical without -telemetry.
+	var plain bytes.Buffer
+	if err := run(args, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != out.String() {
+		t.Fatalf("-telemetry changed the report:\n--- without ---\n%s--- with ---\n%s", plain.String(), out.String())
+	}
+}
+
+// TestRunServiceCSVTelemetry pins the .csv extension switching the window
+// stream format.
+func TestRunServiceCSVTelemetry(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "windows.csv")
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "service", "-ops", "0.1", "-app-procs", "4", "-telemetry", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "window,start,end,e2e_count") {
+		t.Fatalf("CSV stream missing header:\n%.200s", data)
+	}
+}
+
+// TestRunFlightDoesNotChangeReport pins the flight recorder's
+// perturbation-freedom through the CLI: arming the ring records events
+// without scheduling any, so the report stays byte-identical.
+func TestRunFlightDoesNotChangeReport(t *testing.T) {
+	args := []string{"-experiment", "fig8", "-ops", "0.05", "-procs", "2"}
+	var plain, armed bytes.Buffer
+	if err := run(args, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-flight", "64"), &armed); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != armed.String() {
+		t.Fatalf("-flight changed the report:\n--- without ---\n%s--- with ---\n%s", plain.String(), armed.String())
 	}
 }
 

@@ -52,6 +52,16 @@ func run(args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	switch *format {
+	case "text", "jsonl", "chrome":
+	default:
+		fs.Usage()
+		return fmt.Errorf("unknown -format %q (want text, jsonl, or chrome)", *format)
+	}
+	if *cpu >= 0 && *format != "text" {
+		fs.Usage()
+		return fmt.Errorf("-cpu filters the text timeline only (got -format %s)", *format)
+	}
 
 	s, err := parseScheme(*scheme)
 	if err != nil {
@@ -89,8 +99,6 @@ func run(args []string, stdout io.Writer) error {
 		cw := trace.NewChromeWriter(dest)
 		cfg.TraceSink = cw
 		closeSink = cw.Close
-	default:
-		return fmt.Errorf("unknown format %q (want text, jsonl, or chrome)", *format)
 	}
 
 	m, err := tlrsim.RunWorkload(cfg, w)

@@ -17,7 +17,9 @@ func TestRunRejectsBadInputs(t *testing.T) {
 	}{
 		{"scheme", []string{"-scheme", "nope"}, `unknown scheme "nope"`},
 		{"workload", []string{"-workload", "nope"}, `unknown workload "nope"`},
-		{"format", []string{"-format", "nope"}, `unknown format "nope"`},
+		{"format", []string{"-format", "nope"}, `unknown -format "nope"`},
+		{"cpu-with-jsonl", []string{"-format", "jsonl", "-cpu", "1"}, "-cpu filters the text timeline only"},
+		{"cpu-with-chrome", []string{"-format", "chrome", "-cpu", "0"}, "-cpu filters the text timeline only"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

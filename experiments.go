@@ -74,6 +74,28 @@ func RobustnessSweep(o ExperimentOptions) (*ExperimentResult, error) {
 	return harness.RobustnessSweep(o)
 }
 
+// ServiceExperimentOptions configures the open-loop service experiment
+// (window length, arrival rates, optional window-stream export).
+type ServiceExperimentOptions = harness.ServiceOptions
+
+// ServiceRate is one open-loop arrival-rate point.
+type ServiceRate = harness.ServiceRate
+
+// DefaultServiceExperimentOptions returns the standard two-rate service
+// sweep (moderate and heavy load).
+func DefaultServiceExperimentOptions() ServiceExperimentOptions {
+	return harness.DefaultServiceOptions()
+}
+
+// ServiceSweep runs the steady-state service experiment: an open-loop
+// lock-based KV store under deterministic Poisson arrivals at each rate
+// under BASE, MCS, and TLR, with windowed tail-latency telemetry
+// (p50/p99/p999 of end-to-end and critical-section latency per tumbling
+// window, steady-state detection, optional JSONL/CSV window stream).
+func ServiceSweep(o ExperimentOptions, so ServiceExperimentOptions) (*ExperimentResult, error) {
+	return harness.ServiceSweep(o, so)
+}
+
 // Table1 renders the benchmark inventory (paper Table 1).
 func Table1() string { return harness.Table1() }
 

@@ -55,6 +55,12 @@ type Options struct {
 	// identical either way — machine reset and fork are exact — so this
 	// exists for cross-checking and benchmarking.
 	ColdStart bool
+	// Flight arms the post-mortem flight recorder on every simulated machine:
+	// a bounded ring of the most recent protocol events (cfg.TraceCapacity)
+	// that StallError and checker-violation reports dump alongside the
+	// per-CPU progress ledger. 0 leaves the recorder off; points that already
+	// set their own TraceCapacity keep it.
+	Flight int
 	// Faults applies a deterministic fault-injection spec (see internal/fault)
 	// to every simulated machine: any experiment can be re-run under injected
 	// adversity to measure degradation. Faulted machines refuse snapshots, so
@@ -144,6 +150,9 @@ func runPoints(o Options, points []point) ([]*stats.Run, error) {
 	for i := range points {
 		pt := &points[i]
 		pt.cfg.EnableMetrics = o.Metrics
+		if o.Flight > 0 && pt.cfg.TraceCapacity == 0 {
+			pt.cfg.TraceCapacity = o.Flight
+		}
 		if o.Faults.Enabled() && !pt.cfg.Faults.Enabled() {
 			pt.cfg.Faults = o.Faults
 		}

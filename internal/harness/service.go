@@ -1,0 +1,221 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"tlrsim/internal/proc"
+	"tlrsim/internal/runner"
+	"tlrsim/internal/stats"
+	"tlrsim/internal/telemetry"
+	"tlrsim/internal/workloads"
+)
+
+// ServiceRate is one open-loop arrival-rate point: a stable label and the
+// mean per-CPU inter-arrival gap in cycles (smaller gap = heavier load).
+type ServiceRate struct {
+	Label   string
+	MeanGap uint64
+}
+
+// ServiceOptions configures the steady-state service experiment.
+type ServiceOptions struct {
+	// WindowCycles is the telemetry tumbling-window length (default 100_000).
+	WindowCycles uint64
+	// Rates are the arrival-rate points (default DefaultServiceOptions').
+	Rates []ServiceRate
+	// Telemetry, when non-nil, receives the full per-window stream of every
+	// (rate, scheme) point, concatenated in enumeration order under
+	// "# label" comment headers. Format is JSONL unless CSV is set.
+	Telemetry io.Writer
+	// CSV selects CSV window export instead of JSON Lines.
+	CSV bool
+}
+
+// DefaultServiceOptions returns the standard two-rate sweep: a moderate load
+// the store absorbs with idle slack, and a heavy load near saturation where
+// queueing dominates the tail.
+func DefaultServiceOptions() ServiceOptions {
+	return ServiceOptions{
+		Rates: []ServiceRate{
+			{Label: "moderate", MeanGap: 4000},
+			{Label: "heavy", MeanGap: 1200},
+		},
+	}
+}
+
+func (so ServiceOptions) withDefaults() ServiceOptions {
+	if so.WindowCycles == 0 {
+		so.WindowCycles = 100_000
+	}
+	if len(so.Rates) == 0 {
+		so.Rates = DefaultServiceOptions().Rates
+	}
+	return so
+}
+
+// serviceSchemes are the lock schemes the service experiment compares: the
+// paper's baseline, the best software queue lock, and TLR.
+var serviceSchemes = []proc.Scheme{proc.Base, proc.MCS, proc.TLR}
+
+// ServiceSweep runs the open-loop service workload (deterministic Poisson
+// arrivals into a Zipf-contended lock-based KV store, internal/workloads
+// Service) at each arrival rate under BASE, MCS, and TLR, with windowed tail
+// telemetry attached to every point. The report carries one summary row per
+// point — end-of-run and steady-state p50/p99/p999 of both end-to-end
+// (queueing included) and critical-section latency — followed by each
+// point's per-window recorder report. Points are enumerated up front and
+// results (including the telemetry streams) are assembled in enumeration
+// order, so output is byte-identical at any Options.Jobs.
+func ServiceSweep(o Options, so ServiceOptions) (*Result, error) {
+	so = so.withDefaults()
+	requests := o.scaled(4096)
+	type pt struct {
+		label string
+		rate  ServiceRate
+	}
+	var (
+		pts   []pt
+		units []runner.Unit
+	)
+	n := len(so.Rates) * len(serviceSchemes)
+	recs := make([]*telemetry.Recorder, n)
+	streams := make([]*bytes.Buffer, n)
+	for _, rate := range so.Rates {
+		for _, scheme := range serviceSchemes {
+			idx := len(pts)
+			rate := rate
+			cfg := MachineConfig(o.AppProcs, scheme, o.Seed)
+			cfg.EnableMetrics = o.Metrics
+			if o.Flight > 0 && cfg.TraceCapacity == 0 {
+				cfg.TraceCapacity = o.Flight
+			}
+			if o.Faults.Enabled() {
+				cfg.Faults = o.Faults
+				if cfg.StallCycles == 0 {
+					cfg.StallCycles = faultStallCycles
+				}
+			}
+			label := fmt.Sprintf("service %s %v procs=%d", rate.Label, scheme, o.AppProcs)
+			pts = append(pts, pt{label: label, rate: rate})
+			job := runner.Job{Label: label, Config: cfg}
+			units = append(units, runner.Unit{
+				Jobs: []runner.Job{job},
+				Exec: func(mc *runner.MachineCache, jobs []runner.Job) ([]*stats.Run, error) {
+					tcfg := telemetry.Config{WindowCycles: so.WindowCycles}
+					var sink interface {
+						telemetry.WindowSink
+						Close() error
+					}
+					if so.Telemetry != nil {
+						streams[idx] = &bytes.Buffer{}
+						if so.CSV {
+							sink = telemetry.NewCSVWindows(streams[idx])
+						} else {
+							j := telemetry.NewJSONLWindows(streams[idx])
+							j.Label = jobs[0].Label
+							sink = j
+						}
+						tcfg.Sink = sink
+					}
+					rec := telemetry.NewRecorder(tcfg)
+					w := &workloads.Service{
+						Requests: requests,
+						MeanGap:  rate.MeanGap,
+						Seed:     o.Seed,
+						Rec:      rec,
+					}
+					m := mc.Acquire(jobs[0].Config)
+					if err := workloads.RunOn(m, w); err != nil {
+						return nil, fmt.Errorf("%s: %w", jobs[0].Label, err)
+					}
+					rec.Finish(uint64(m.Cycles()))
+					if sink != nil {
+						if err := sink.Close(); err != nil {
+							return nil, fmt.Errorf("%s: telemetry export: %w", jobs[0].Label, err)
+						}
+					}
+					run := stats.Collect(m)
+					mc.Release(m)
+					recs[idx] = rec
+					return []*stats.Run{run}, nil
+				},
+			})
+		}
+	}
+	pool := &runner.Pool{Workers: o.Jobs, Progress: o.Progress, Cold: o.ColdStart}
+	byUnit, err := pool.RunUnits(units)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Name:     "service",
+		Runs:     make(map[string]map[int]*stats.Run),
+		Variants: schemeLabels(serviceSchemes),
+		KeyCol:   "rate",
+	}
+	t := &stats.Table{Header: []string{
+		"rate", "scheme", "cycles", "reqs", "steady@",
+		"e2e p50/p99/p999", "cs p50/p99/p999",
+		"steady e2e p50/p99/p999",
+	}}
+	i := 0
+	for _, rate := range so.Rates {
+		res.Runs[rate.Label] = make(map[int]*stats.Run)
+		for vi := range serviceSchemes {
+			run := byUnit[i][0]
+			rec := recs[i]
+			i++
+			res.Runs[rate.Label][vi] = run
+			e2e, cs := rec.Summary()
+			steady := "-"
+			steadyCell := "-"
+			if rec.SteadyAt() >= 0 {
+				steady = fmt.Sprintf("w%d", rec.SteadyAt())
+				se, _ := rec.SteadySummary()
+				steadyCell = fmt.Sprintf("%d/%d/%d", se.P50, se.P99, se.P999)
+			}
+			t.Add(rate.Label, serviceSchemes[vi].String(),
+				fmt.Sprintf("%d", run.Cycles),
+				fmt.Sprintf("%d", e2e.Count),
+				steady,
+				fmt.Sprintf("%d/%d/%d", e2e.P50, e2e.P99, e2e.P999),
+				fmt.Sprintf("%d/%d/%d", cs.P50, cs.P99, cs.P999),
+				steadyCell,
+			)
+		}
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "Open-loop service: tail latency at %d processors, %d requests (latencies in cycles)\n",
+		o.AppProcs, requests)
+	b.WriteString(t.String())
+	for i, p := range pts {
+		fmt.Fprintf(&b, "\n== %s ==\n%s", p.label, recs[i].Report())
+	}
+	res.Report = b.String()
+
+	if so.Telemetry != nil {
+		for i, p := range pts {
+			if so.CSV {
+				if _, err := fmt.Fprintf(so.Telemetry, "# %s\n%s", p.label, streams[i].Bytes()); err != nil {
+					return nil, fmt.Errorf("telemetry write: %w", err)
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(so.Telemetry, "%s", streams[i].Bytes()); err != nil {
+				return nil, fmt.Errorf("telemetry write: %w", err)
+			}
+		}
+	}
+	return res, nil
+}
+
+func schemeLabels(schemes []proc.Scheme) []string {
+	out := make([]string, len(schemes))
+	for i, s := range schemes {
+		out[i] = s.String()
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// serviceTestOptions shrinks the sweep so the test runs in well under a
+// second while still closing several windows per point.
+func serviceTestOptions() (Options, ServiceOptions) {
+	o := DefaultOptions()
+	o.Ops = 0.25
+	o.AppProcs = 4
+	so := ServiceOptions{
+		WindowCycles: 50_000,
+		Rates:        []ServiceRate{{Label: "moderate", MeanGap: 4000}},
+	}
+	return o, so
+}
+
+func TestServiceSweepReportAndStream(t *testing.T) {
+	o, so := serviceTestOptions()
+	var stream bytes.Buffer
+	so.Telemetry = &stream
+	res, err := ServiceSweep(o, so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Open-loop service", "moderate", "BASE", "MCS",
+		"== service moderate BASE+SLE+TLR procs=4 ==", "end-of-run",
+	} {
+		if !strings.Contains(res.Report, want) {
+			t.Errorf("report missing %q:\n%s", want, res.Report)
+		}
+	}
+	// The telemetry stream is JSONL: every line parses, windows are in order
+	// per label, and quantiles are monotone p50 <= p99 <= p999.
+	lines := strings.Split(strings.TrimSpace(stream.String()), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("telemetry stream too short: %d lines", len(lines))
+	}
+	lastIdx := map[string]int{}
+	for _, line := range lines {
+		var w struct {
+			Label  string `json:"label"`
+			Window int    `json:"window"`
+			E2E    struct {
+				Count, P50, P99, P999 uint64
+			} `json:"e2e"`
+		}
+		if err := json.Unmarshal([]byte(line), &w); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		if w.Label == "" {
+			t.Fatalf("line missing label: %q", line)
+		}
+		if last, ok := lastIdx[w.Label]; ok && w.Window != last+1 {
+			t.Fatalf("%s: window %d follows %d", w.Label, w.Window, last)
+		}
+		lastIdx[w.Label] = w.Window
+		if !(w.E2E.P50 <= w.E2E.P99 && w.E2E.P99 <= w.E2E.P999) {
+			t.Fatalf("quantiles not monotone in %q", line)
+		}
+	}
+	if len(lastIdx) != 3 {
+		t.Fatalf("stream covers %d points, want 3 (one per scheme)", len(lastIdx))
+	}
+}
+
+func TestServiceSweepDeterministicAcrossJobs(t *testing.T) {
+	run := func(jobs int) (string, string) {
+		o, so := serviceTestOptions()
+		o.Jobs = jobs
+		var stream bytes.Buffer
+		so.Telemetry = &stream
+		res, err := ServiceSweep(o, so)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Report, stream.String()
+	}
+	r1, s1 := run(1)
+	r4, s4 := run(4)
+	if r1 != r4 {
+		t.Fatal("report differs between -jobs 1 and -jobs 4")
+	}
+	if s1 != s4 {
+		t.Fatal("telemetry stream differs between -jobs 1 and -jobs 4")
+	}
+}
+
+func TestServiceSweepCSVStream(t *testing.T) {
+	o, so := serviceTestOptions()
+	so.CSV = true
+	var stream bytes.Buffer
+	so.Telemetry = &stream
+	if _, err := ServiceSweep(o, so); err != nil {
+		t.Fatal(err)
+	}
+	s := stream.String()
+	if !strings.HasPrefix(s, "# service moderate BASE procs=4\n") {
+		t.Fatalf("CSV stream missing point header:\n%.200s", s)
+	}
+	if !strings.Contains(s, "window,start,end,e2e_count") {
+		t.Fatalf("CSV stream missing column header:\n%.200s", s)
+	}
+}

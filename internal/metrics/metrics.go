@@ -16,11 +16,11 @@ package metrics
 
 import (
 	"fmt"
-	"math/bits"
 	"sort"
 	"strings"
 
 	"tlrsim/internal/sim"
+	"tlrsim/internal/telemetry"
 )
 
 // Counter is a monotonically increasing event count.
@@ -38,65 +38,61 @@ func (c *Counter) Add(n uint64) { c.v += n }
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.v }
 
-// histBuckets is one slot per possible bits.Len64 result: bucket k counts
+// histBuckets is one slot per possible bits.Len64 result: Bucket(k) counts
 // observations v with bits.Len64(v) == k, i.e. v in [2^(k-1), 2^k).
 // Bucket 0 counts exact zeros.
 const histBuckets = 65
 
-// Histogram accumulates a value distribution in power-of-two buckets, plus
-// exact count/sum/max. Observing is three integer adds, a compare, and one
-// array store — no allocation, no floating point.
+// Histogram accumulates a value distribution in a log-linear telemetry.Hist
+// (32 linear sub-buckets per power-of-two range), plus exact count/sum/max.
+// Observing is a handful of integer adds and one array store — no
+// allocation, no floating point. The fine-grained buckets give Quantile a
+// bounded relative error; Bucket(k) still presents the coarse power-of-two
+// view the dump renders.
 type Histogram struct {
 	Name string
 	Unit string
 
-	count   uint64
-	sum     uint64
-	max     uint64
-	buckets [histBuckets]uint64
+	h telemetry.Hist
 }
 
 // Observe records one value.
-func (h *Histogram) Observe(v uint64) {
-	h.count++
-	h.sum += v
-	if v > h.max {
-		h.max = v
-	}
-	h.buckets[bits.Len64(v)]++
-}
+func (h *Histogram) Observe(v uint64) { h.h.Observe(v) }
 
 // Count returns how many values were observed.
-func (h *Histogram) Count() uint64 { return h.count }
+func (h *Histogram) Count() uint64 { return h.h.Count() }
 
 // Sum returns the total of all observed values.
-func (h *Histogram) Sum() uint64 { return h.sum }
+func (h *Histogram) Sum() uint64 { return h.h.Sum() }
 
 // Max returns the largest observed value (0 if none).
-func (h *Histogram) Max() uint64 { return h.max }
+func (h *Histogram) Max() uint64 { return h.h.Max() }
 
 // Mean returns the average observed value (0 if none).
-func (h *Histogram) Mean() float64 {
-	if h.count == 0 {
-		return 0
-	}
-	return float64(h.sum) / float64(h.count)
-}
+func (h *Histogram) Mean() float64 { return h.h.Mean() }
 
-// Bucket returns the count in bucket k (values in [2^(k-1), 2^k); k=0 holds
-// exact zeros).
+// Quantile returns an upper bound on the q-quantile of the observed values:
+// exact for values below 64, otherwise overestimating by strictly less than
+// 1/32 (3.125%) relative error — the telemetry.Hist sub-bucket resolution.
+// q <= 0 yields the minimum, q >= 1 the maximum; an empty histogram yields 0.
+func (h *Histogram) Quantile(q float64) uint64 { return h.h.Quantile(q) }
+
+// Bucket returns the count in the power-of-two bucket k (values in
+// [2^(k-1), 2^k); k=0 holds exact zeros), aggregated from the underlying
+// log-linear sub-buckets.
 func (h *Histogram) Bucket(k int) uint64 {
 	if k < 0 || k >= histBuckets {
 		return 0
 	}
-	return h.buckets[k]
+	return h.h.PowBucket(k)
 }
 
-// bucketsString renders the non-empty buckets as "<upper:count" pairs, where
-// upper is the bucket's exclusive power-of-two upper bound.
+// bucketsString renders the non-empty power-of-two buckets as "<upper:count"
+// pairs, where upper is the bucket's exclusive power-of-two upper bound.
 func (h *Histogram) bucketsString() string {
 	var b strings.Builder
-	for k, n := range h.buckets {
+	for k := 0; k < histBuckets; k++ {
+		n := h.h.PowBucket(k)
 		if n == 0 {
 			continue
 		}
@@ -120,11 +116,11 @@ func (h *Histogram) String() string {
 	if unit != "" {
 		unit = " " + unit
 	}
-	if h.count == 0 {
+	if h.Count() == 0 {
 		return fmt.Sprintf("count=0%s", unit)
 	}
 	return fmt.Sprintf("count=%d mean=%.1f max=%d%s | %s",
-		h.count, h.Mean(), h.max, unit, h.bucketsString())
+		h.Count(), h.Mean(), h.Max(), unit, h.bucketsString())
 }
 
 // maxSamples bounds each sampler's series so a long run cannot grow memory
@@ -311,14 +307,19 @@ func (r *Registry) writeTo(b *strings.Builder) {
 	}
 }
 
-// sortLockProfiles orders profiles hottest first (activity, then address) —
-// the per-lock analogue of ranking Figure 11's bars.
+// sortLockProfiles orders profiles hottest first — the per-lock analogue of
+// ranking Figure 11's bars. Equal-activity ties break on the stable lock
+// identity, ID then address, so the contention dump is deterministic across
+// runs regardless of registration/allocation incidentals.
 func sortLockProfiles(profiles []*LockProfile) []*LockProfile {
 	out := append([]*LockProfile(nil), profiles...)
 	sort.Slice(out, func(i, j int) bool {
 		ai, aj := out[i].activity(), out[j].activity()
 		if ai != aj {
 			return ai > aj
+		}
+		if out[i].ID != out[j].ID {
+			return out[i].ID < out[j].ID
 		}
 		return out[i].Addr < out[j].Addr
 	})

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -31,6 +32,83 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 	if !strings.Contains(h.String(), "=0:1") || !strings.Contains(h.String(), "<2048:1") {
 		t.Errorf("histogram rendering missing buckets: %s", h.String())
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	var h Histogram
+	// Empty histogram: Mean and Quantile are zero, String stays terse.
+	if h.Mean() != 0 {
+		t.Fatalf("empty Mean = %v, want 0", h.Mean())
+	}
+	if h.Quantile(0.99) != 0 {
+		t.Fatalf("empty Quantile = %d, want 0", h.Quantile(0.99))
+	}
+	if got := h.String(); got != "count=0" {
+		t.Fatalf("empty String = %q", got)
+	}
+	// v=0 and v=MaxUint64 both record; MaxUint64 lands in the top overflow
+	// bucket (bits.Len64 = 64) and renders as "<2^64".
+	h.Observe(0)
+	h.Observe(math.MaxUint64)
+	if h.Bucket(0) != 1 || h.Bucket(64) != 1 {
+		t.Fatalf("buckets 0/64 = %d/%d, want 1/1", h.Bucket(0), h.Bucket(64))
+	}
+	if h.Max() != math.MaxUint64 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	if !strings.Contains(h.String(), "<2^64:1") {
+		t.Fatalf("top bucket not rendered: %s", h.String())
+	}
+	// Quantiles bracket the two observations exactly.
+	if h.Quantile(0.5) != 0 || h.Quantile(1) != math.MaxUint64 {
+		t.Fatalf("quantiles = %d/%d", h.Quantile(0.5), h.Quantile(1))
+	}
+}
+
+// TestHistogramQuantileBound pins the documented contract: Quantile
+// overestimates by strictly less than 1/32 and is exact below 64.
+func TestHistogramQuantileBound(t *testing.T) {
+	var h Histogram
+	for v := uint64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	for _, tc := range []struct {
+		q     float64
+		truth uint64
+	}{
+		{0.05, 50}, {0.5, 500}, {0.99, 990}, {0.999, 999},
+	} {
+		got := h.Quantile(tc.q)
+		if got < tc.truth {
+			t.Fatalf("q%v = %d below true %d", tc.q, got, tc.truth)
+		}
+		if tc.truth < 64 {
+			if got != tc.truth {
+				t.Fatalf("q%v = %d, want exact %d below 64", tc.q, got, tc.truth)
+			}
+		} else if d := got - tc.truth; d*32 >= tc.truth {
+			t.Fatalf("q%v = %d overestimates true %d by >= 1/32", tc.q, got, tc.truth)
+		}
+	}
+}
+
+// TestSortLockProfilesTieBreak pins the deterministic hottest-first ranking:
+// equal activity breaks on lock ID, then address.
+func TestSortLockProfilesTieBreak(t *testing.T) {
+	a := &LockProfile{ID: 3, Addr: 0x300, Acquires: 10}
+	b := &LockProfile{ID: 1, Addr: 0x900, Acquires: 10}
+	c := &LockProfile{ID: 2, Addr: 0x100, Acquires: 25}
+	got := sortLockProfiles([]*LockProfile{a, b, c})
+	want := []*LockProfile{c, b, a} // activity desc, then ID asc
+	for i := range want {
+		if got[i] != want[i] {
+			ids := make([]int, len(got))
+			for j, p := range got {
+				ids[j] = p.ID
+			}
+			t.Fatalf("rank order (by ID) = %v, want [2 1 3]", ids)
+		}
 	}
 }
 

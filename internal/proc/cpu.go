@@ -410,6 +410,7 @@ func (cpu *CPU) finishOp(r result) {
 		cpu.scriptNext(r, true)
 		return
 	}
+	r.at = uint64(cpu.m.K.Now())
 	cpu.tc.res <- r
 	cpu.fetchNext(true)
 }
@@ -428,6 +429,7 @@ func (cpu *CPU) completeOp(seq uint64, r result) {
 		cpu.scriptNext(r, false)
 		return
 	}
+	r.at = uint64(cpu.m.K.Now())
 	cpu.tc.res <- r
 	cpu.fetchNext(false)
 }

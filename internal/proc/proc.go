@@ -19,6 +19,7 @@ package proc
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"tlrsim/internal/checker"
 	"tlrsim/internal/coherence"
@@ -409,6 +410,28 @@ func (m *Machine) GuaranteedFootprintLines() int {
 // Trace returns the attached protocol tracer (nil unless TraceCapacity was
 // set).
 func (m *Machine) Trace() *trace.Tracer { return m.Sys.Tracer }
+
+// FlightDump renders the post-mortem flight recorder: the tracer's bounded
+// ring of the most recent protocol events (PR 2's pooled event
+// representations — the ring IS the flight recorder; attaching it records
+// events without scheduling any, so arming the recorder cannot perturb the
+// simulated schedule). Empty when no tracer is attached or nothing was
+// recorded; failure reports (StallError, checker-violation exits) append it
+// alongside the per-CPU progress ledger so a post-mortem shows what happened
+// last, not just where each CPU stopped.
+func (m *Machine) FlightDump() string {
+	t := m.Sys.Tracer
+	if t == nil || t.Len() == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "  flight recorder (last %d of %d events):", t.Len(), t.Total())
+	for _, e := range t.Events() {
+		b.WriteString("\n    ")
+		b.WriteString(e.String())
+	}
+	return b.String()
+}
 
 // Metrics returns the attached observability instrument set (nil unless
 // EnableMetrics was set; all methods on a nil set are no-ops).

@@ -194,6 +194,11 @@ type StallError struct {
 	Recoveries uint64
 
 	CPUs []CPUStall
+
+	// Flight is the rendered flight-recorder dump — the tracer ring's most
+	// recent protocol events — or "" when no tracer was attached (see
+	// Machine.FlightDump).
+	Flight string
 }
 
 func (e *StallError) Error() string {
@@ -232,6 +237,10 @@ func (e *StallError) Error() string {
 		if c.Aborts > 0 {
 			fmt.Fprintf(&b, " lastAbort=%v@%d", c.LastAbortReason, c.LastAbortAt)
 		}
+	}
+	if e.Flight != "" {
+		b.WriteString("\n")
+		b.WriteString(e.Flight)
 	}
 	b.WriteString("\n  reproduce:")
 	fmt.Fprintf(&b, "\n    cfg := proc.BaselineConfig(%d, proc.%s, %d)", e.Procs, schemeIdent(e.Scheme), e.Seed)
@@ -277,6 +286,7 @@ func (m *Machine) stallError(kind StallKind) *StallError {
 		Procs:          m.cfg.Procs,
 		Seed:           m.cfg.Seed,
 		Recoveries:     m.deadlockRecoveries,
+		Flight:         m.FlightDump(),
 	}
 	if m.faults != nil {
 		e.FaultSpec = m.faults.Spec().String()

@@ -67,6 +67,10 @@ type result struct {
 	ok      bool
 	aborted bool
 	mode    CritMode
+	// at is the kernel time the op completed, stamped CPU-side before the
+	// reply is sent: the thread goroutine runs concurrently with the kernel
+	// loop between ops, so it must never read the live clock itself.
+	at uint64
 }
 
 // abortSignal unwinds the thread to the restart point of the outermost
@@ -88,6 +92,11 @@ type TC struct {
 	// operation carries it to the CPU (as op.lead), saving the two goroutine
 	// context switches a dedicated compute op would cost.
 	pendingCompute uint64
+	// lastAt is the completion time of the thread's most recent op, copied
+	// from the reply. It is the thread's only view of the clock: the kernel
+	// loop keeps running while the thread goroutine executes, so reading
+	// Kernel.Now directly from thread code would race.
+	lastAt uint64
 }
 
 var _ locks.Ops = (*TC)(nil)
@@ -106,7 +115,9 @@ func (tc *TC) do(o op) result {
 	o.lead = tc.pendingCompute
 	tc.pendingCompute = 0
 	tc.ops <- o
-	return <-tc.res
+	r := <-tc.res
+	tc.lastAt = r.at
+	return r
 }
 
 // mem issues a memory operation, unwinding to the transaction restart point
@@ -175,6 +186,26 @@ func (tc *TC) FetchAdd(a memsys.Addr, delta uint64) uint64 {
 // It returns the satisfying value.
 func (tc *TC) SpinUntil(a memsys.Addr, pred func(uint64) bool) uint64 {
 	return tc.mem(op{kind: opSpin, addr: a, pred: pred})
+}
+
+// Now returns the thread's current simulated cycle: the completion time of
+// its most recent operation plus any pending batched compute span. The
+// thread never reads the live kernel clock — the kernel loop runs
+// concurrently with thread goroutines between ops, so the thread's view of
+// time advances only at op boundaries (before the first op it is the run's
+// start, cycle 0 plus any start jitter absorbed by the first fetch).
+func (tc *TC) Now() uint64 {
+	return tc.lastAt + tc.pendingCompute
+}
+
+// WaitUntil advances the thread's local time to at least cycle `at`,
+// modelling idle waiting (an open-loop workload waiting for the next
+// arrival). A no-op when `at` is not in the future; otherwise the wait rides
+// the next operation as an ordinary compute span.
+func (tc *TC) WaitUntil(at uint64) {
+	if now := tc.Now(); at > now {
+		tc.Compute(at - now)
+	}
 }
 
 // Compute models n cycles of local computation. The span is batched: it is

@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonWindow is the JSONL wire form of one window.
+type jsonWindow struct {
+	Label  string   `json:"label,omitempty"`
+	Window int      `json:"window"`
+	Start  uint64   `json:"start"`
+	End    uint64   `json:"end"`
+	E2E    jsonDist `json:"e2e"`
+	CS     jsonDist `json:"cs"`
+}
+
+type jsonDist struct {
+	Count uint64  `json:"count"`
+	P50   uint64  `json:"p50"`
+	P99   uint64  `json:"p99"`
+	P999  uint64  `json:"p999"`
+	Max   uint64  `json:"max"`
+	Mean  float64 `json:"mean"`
+}
+
+func toJSONDist(d Dist) jsonDist {
+	return jsonDist{Count: d.Count, P50: d.P50, P99: d.P99, P999: d.P999, Max: d.Max, Mean: d.Mean}
+}
+
+// JSONLWindows streams closed windows as JSON Lines — one object per window,
+// written as each window closes, so the writer holds no per-run state. The
+// trace.Sink streaming-export pattern applied to the window stream.
+type JSONLWindows struct {
+	// Label, when non-empty, is stamped into every emitted line, so streams
+	// from several runs can share one file and stay distinguishable.
+	Label string
+
+	w   *bufio.Writer
+	err error
+}
+
+// NewJSONLWindows wraps w in a buffered JSONL window sink.
+func NewJSONLWindows(w io.Writer) *JSONLWindows {
+	return &JSONLWindows{w: bufio.NewWriter(w)}
+}
+
+// EmitWindow implements WindowSink.
+func (j *JSONLWindows) EmitWindow(w Window) {
+	if j.err != nil {
+		return
+	}
+	rec := jsonWindow{Label: j.Label, Window: w.Index, Start: w.Start, End: w.End,
+		E2E: toJSONDist(w.E2E), CS: toJSONDist(w.CS)}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		j.err = err
+		return
+	}
+	if _, err := j.w.Write(append(b, '\n')); err != nil {
+		j.err = err
+	}
+}
+
+// Close flushes buffered output and reports the first write error.
+func (j *JSONLWindows) Close() error {
+	if j.err != nil {
+		return j.err
+	}
+	return j.w.Flush()
+}
+
+// CSVWindows streams closed windows as CSV rows under a fixed header.
+type CSVWindows struct {
+	w      *bufio.Writer
+	err    error
+	header bool
+}
+
+// NewCSVWindows wraps w in a buffered CSV window sink.
+func NewCSVWindows(w io.Writer) *CSVWindows {
+	return &CSVWindows{w: bufio.NewWriter(w)}
+}
+
+// EmitWindow implements WindowSink.
+func (c *CSVWindows) EmitWindow(w Window) {
+	if c.err != nil {
+		return
+	}
+	if !c.header {
+		c.header = true
+		if _, err := c.w.WriteString("window,start,end," +
+			"e2e_count,e2e_p50,e2e_p99,e2e_p999,e2e_max,e2e_mean," +
+			"cs_count,cs_p50,cs_p99,cs_p999,cs_max,cs_mean\n"); err != nil {
+			c.err = err
+			return
+		}
+	}
+	_, err := fmt.Fprintf(c.w, "%d,%d,%d,%d,%d,%d,%d,%d,%.1f,%d,%d,%d,%d,%d,%.1f\n",
+		w.Index, w.Start, w.End,
+		w.E2E.Count, w.E2E.P50, w.E2E.P99, w.E2E.P999, w.E2E.Max, w.E2E.Mean,
+		w.CS.Count, w.CS.P50, w.CS.P99, w.CS.P999, w.CS.Max, w.CS.Mean)
+	if err != nil {
+		c.err = err
+	}
+}
+
+// Close flushes buffered output and reports the first write error.
+func (c *CSVWindows) Close() error {
+	if c.err != nil {
+		return c.err
+	}
+	return c.w.Flush()
+}

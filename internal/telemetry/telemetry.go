@@ -1,0 +1,282 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config shapes a Recorder.
+type Config struct {
+	// WindowCycles is the tumbling window length in simulated cycles
+	// (default 100_000). Windows are aligned to cycle 0 and closed lazily:
+	// an observation past the current window's end closes it (and any empty
+	// windows between) before being recorded.
+	WindowCycles uint64
+
+	// WarmupWindows is the number of initial windows always excluded from
+	// convergence detection (default 2).
+	WarmupWindows int
+
+	// ConvergeWindows is how many consecutive in-tolerance windows declare
+	// steady state (default 3).
+	ConvergeWindows int
+
+	// Tolerance is the relative end-to-end p99 drift between consecutive
+	// windows that still counts as converged (default 0.25).
+	Tolerance float64
+
+	// Sink, when non-nil, receives every closed window as it closes — the
+	// streaming seam (trace.Sink pattern): long runs retain per-window
+	// summaries only, never per-request state.
+	Sink WindowSink
+}
+
+func (c Config) withDefaults() Config {
+	if c.WindowCycles == 0 {
+		c.WindowCycles = 100_000
+	}
+	if c.WarmupWindows == 0 {
+		c.WarmupWindows = 2
+	}
+	if c.ConvergeWindows == 0 {
+		c.ConvergeWindows = 3
+	}
+	if c.Tolerance == 0 {
+		c.Tolerance = 0.25
+	}
+	return c
+}
+
+// Dist is the quantile summary of one latency distribution.
+type Dist struct {
+	Count uint64
+	P50   uint64
+	P99   uint64
+	P999  uint64
+	Max   uint64
+	Mean  float64
+}
+
+func distOf(h *Hist) Dist {
+	return Dist{
+		Count: h.Count(),
+		P50:   h.Quantile(0.50),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+		Max:   h.Max(),
+		Mean:  h.Mean(),
+	}
+}
+
+// Window is one closed tumbling window: its cycle bounds and the end-to-end
+// and critical-section latency summaries of the requests that completed in it.
+type Window struct {
+	Index int
+	Start uint64
+	End   uint64
+	E2E   Dist
+	CS    Dist
+}
+
+// WindowSink receives closed windows in order as they close — the telemetry
+// analogue of trace.Sink. Exporters (JSONL, CSV) implement it.
+type WindowSink interface {
+	EmitWindow(w Window)
+}
+
+// Recorder accumulates per-request latency observations into tumbling
+// simulated-time windows, watches for steady state, and keeps cumulative and
+// post-convergence histograms. A nil Recorder is disabled: every method is a
+// nil-safe no-op costing one pointer test, so workloads thread a Recorder
+// unconditionally.
+//
+// Memory is O(windows), not O(requests): per window the Recorder retains one
+// Window summary; the full-resolution histograms (current window, cumulative,
+// steady-state) are fixed-size and reset in place.
+type Recorder struct {
+	cfg      Config
+	winStart uint64
+	idx      int
+	windows  []Window
+
+	curE2E, curCS       Hist
+	allE2E, allCS       Hist
+	steadyE2E, steadyCS Hist
+
+	// steadyAt is the first window index of the steady-state region, or -1
+	// while convergence has not been declared.
+	steadyAt int
+	stable   int
+	prevP99  uint64
+}
+
+// NewRecorder returns a Recorder with cfg's zero fields defaulted.
+func NewRecorder(cfg Config) *Recorder {
+	return &Recorder{cfg: cfg.withDefaults(), steadyAt: -1}
+}
+
+// Observe records one completed request: at is its completion cycle, e2e its
+// end-to-end latency (queueing included) and cs its critical-section/service
+// latency, all in simulated cycles. Calls must arrive in nondecreasing `at`
+// order — which they do naturally, since completions are observed at the
+// kernel's current cycle. Allocation-free except when a window closes
+// (amortised one summary append per window).
+func (r *Recorder) Observe(at, e2e, cs uint64) {
+	if r == nil {
+		return
+	}
+	for at >= r.winStart+r.cfg.WindowCycles {
+		r.closeWindow()
+	}
+	r.curE2E.Observe(e2e)
+	r.curCS.Observe(cs)
+	r.allE2E.Observe(e2e)
+	r.allCS.Observe(cs)
+	if r.steadyAt >= 0 {
+		r.steadyE2E.Observe(e2e)
+		r.steadyCS.Observe(cs)
+	}
+}
+
+// Finish closes every window up to cycle at, plus the final partial window if
+// it holds observations. Call once, after the run completes.
+func (r *Recorder) Finish(at uint64) {
+	if r == nil {
+		return
+	}
+	for at >= r.winStart+r.cfg.WindowCycles {
+		r.closeWindow()
+	}
+	if r.curE2E.Count() > 0 {
+		r.closeWindow()
+	}
+}
+
+// closeWindow snapshots the current window, streams it to the sink, runs the
+// convergence detector, and resets the per-window histograms in place.
+func (r *Recorder) closeWindow() {
+	w := Window{
+		Index: r.idx,
+		Start: r.winStart,
+		End:   r.winStart + r.cfg.WindowCycles,
+		E2E:   distOf(&r.curE2E),
+		CS:    distOf(&r.curCS),
+	}
+	r.windows = append(r.windows, w)
+	if r.cfg.Sink != nil {
+		r.cfg.Sink.EmitWindow(w)
+	}
+	// Steady-state detection: past warmup, ConvergeWindows consecutive
+	// non-empty windows whose e2e p99 drifts by at most Tolerance relative
+	// to the previous window declare convergence; the steady region starts
+	// at the NEXT window (the detector is causal — it cannot retroactively
+	// re-accumulate windows whose per-request values are gone).
+	if r.steadyAt < 0 && r.idx >= r.cfg.WarmupWindows {
+		if w.E2E.Count == 0 || r.prevP99 == 0 || !withinTol(w.E2E.P99, r.prevP99, r.cfg.Tolerance) {
+			r.stable = 0
+		} else {
+			r.stable++
+			if r.stable >= r.cfg.ConvergeWindows {
+				r.steadyAt = r.idx + 1
+			}
+		}
+		r.prevP99 = w.E2E.P99
+	}
+	r.curE2E.Reset()
+	r.curCS.Reset()
+	r.winStart += r.cfg.WindowCycles
+	r.idx++
+}
+
+func withinTol(a, b uint64, tol float64) bool {
+	d := float64(a) - float64(b)
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol*float64(b)
+}
+
+// Windows returns the closed window summaries in order.
+func (r *Recorder) Windows() []Window {
+	if r == nil {
+		return nil
+	}
+	return r.windows
+}
+
+// SteadyAt returns the first window index of the steady-state region, or -1
+// if convergence was never declared.
+func (r *Recorder) SteadyAt() int {
+	if r == nil {
+		return -1
+	}
+	return r.steadyAt
+}
+
+// Summary returns the end-of-run distributions over all requests.
+func (r *Recorder) Summary() (e2e, cs Dist) {
+	if r == nil {
+		return
+	}
+	return distOf(&r.allE2E), distOf(&r.allCS)
+}
+
+// SteadySummary returns the distributions over requests completing in the
+// steady-state region (zero Dists if convergence was never declared).
+func (r *Recorder) SteadySummary() (e2e, cs Dist) {
+	if r == nil || r.steadyAt < 0 {
+		return
+	}
+	return distOf(&r.steadyE2E), distOf(&r.steadyCS)
+}
+
+// maxReportWindows caps the per-window rows Report renders; earlier windows
+// are summarised by an ellipsis line so very long runs stay readable (the
+// full stream is available through the sink exporters).
+const maxReportWindows = 48
+
+// Report renders the recorder deterministically: one row per window
+// (p50/p99/p999 of both distributions), then the end-of-run and, when
+// converged, steady-state summaries.
+func (r *Recorder) Report() string {
+	if r == nil {
+		return ""
+	}
+	var b strings.Builder
+	e2e, cs := r.Summary()
+	fmt.Fprintf(&b, "windows of %d cycles, %d requests in %d windows",
+		r.cfg.WindowCycles, e2e.Count, len(r.windows))
+	if r.steadyAt >= 0 {
+		fmt.Fprintf(&b, ", steady from w%d", r.steadyAt)
+	} else {
+		b.WriteString(", no steady-state convergence")
+	}
+	b.WriteString("\n")
+	b.WriteString("  window      reqs  e2e p50/p99/p999         cs p50/p99/p999\n")
+	ws := r.windows
+	if len(ws) > maxReportWindows {
+		fmt.Fprintf(&b, "  ... %d earlier windows elided ...\n", len(ws)-maxReportWindows)
+		ws = ws[len(ws)-maxReportWindows:]
+	}
+	for _, w := range ws {
+		fmt.Fprintf(&b, "  w%-4d %10d  %s  %s\n", w.Index, w.E2E.Count,
+			quantCell(w.E2E), quants(w.CS))
+	}
+	fmt.Fprintf(&b, "  end-of-run: e2e %s  cs %s\n", quantCell(e2e), quants(cs))
+	if r.steadyAt >= 0 {
+		se, sc := r.SteadySummary()
+		fmt.Fprintf(&b, "  steady-state (w>=%d, %d reqs): e2e %s  cs %s\n",
+			r.steadyAt, se.Count, quantCell(se), quants(sc))
+	}
+	return b.String()
+}
+
+func quants(d Dist) string {
+	return fmt.Sprintf("%d/%d/%d", d.P50, d.P99, d.P999)
+}
+
+// quantCell pads an inner column; the trailing cs column stays unpadded so
+// report lines carry no trailing whitespace.
+func quantCell(d Dist) string {
+	return fmt.Sprintf("%-23s", quants(d))
+}

@@ -1,0 +1,163 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRecorderWindows(t *testing.T) {
+	r := NewRecorder(Config{WindowCycles: 1000})
+	// Window 0: two requests; window 1 empty; window 2: one request.
+	r.Observe(100, 50, 10)
+	r.Observe(900, 70, 20)
+	r.Observe(2500, 90, 30)
+	r.Finish(2500)
+	ws := r.Windows()
+	if len(ws) != 3 {
+		t.Fatalf("got %d windows, want 3 (incl. empty middle)", len(ws))
+	}
+	if ws[0].E2E.Count != 2 || ws[1].E2E.Count != 0 || ws[2].E2E.Count != 1 {
+		t.Fatalf("window counts %d/%d/%d, want 2/0/1", ws[0].E2E.Count, ws[1].E2E.Count, ws[2].E2E.Count)
+	}
+	if ws[0].Start != 0 || ws[0].End != 1000 || ws[2].Start != 2000 {
+		t.Fatalf("window bounds wrong: %+v", ws)
+	}
+	if ws[0].E2E.P50 != 50 || ws[0].E2E.Max != 70 {
+		t.Fatalf("window 0 e2e dist %+v", ws[0].E2E)
+	}
+	e2e, cs := r.Summary()
+	if e2e.Count != 3 || cs.Count != 3 {
+		t.Fatalf("summary counts %d/%d", e2e.Count, cs.Count)
+	}
+}
+
+func TestRecorderSteadyStateDetector(t *testing.T) {
+	r := NewRecorder(Config{WindowCycles: 100, WarmupWindows: 2, ConvergeWindows: 2, Tolerance: 0.1})
+	// 10 windows, one observation each: latencies ramp down then flatten.
+	lat := []uint64{5000, 3000, 2000, 1000, 1000, 1000, 1000, 1000, 1000, 1000}
+	for i, l := range lat {
+		at := uint64(i*100 + 50)
+		r.Observe(at, l, l/2)
+	}
+	r.Finish(1000)
+	at := r.SteadyAt()
+	// Windows 0-1 are warmup; w3 vs w2 differs (1000 vs 2000) so stability
+	// starts counting at w4 (vs w3) and w5 (vs w4) completes 2 consecutive
+	// stable windows -> steady from w6.
+	if at != 6 {
+		t.Fatalf("SteadyAt = %d, want 6", at)
+	}
+	se, _ := r.SteadySummary()
+	if se.Count != 4 {
+		t.Fatalf("steady count = %d, want 4 (w6..w9)", se.Count)
+	}
+	if se.P50 != 1000 {
+		t.Fatalf("steady p50 = %d, want 1000", se.P50)
+	}
+	if !strings.Contains(r.Report(), "steady from w6") {
+		t.Fatalf("report missing steady marker:\n%s", r.Report())
+	}
+}
+
+func TestRecorderNeverConverges(t *testing.T) {
+	r := NewRecorder(Config{WindowCycles: 100, WarmupWindows: 1, ConvergeWindows: 3, Tolerance: 0.05})
+	// Alternating latencies: never within 5%.
+	for i := 0; i < 8; i++ {
+		l := uint64(1000)
+		if i%2 == 0 {
+			l = 3000
+		}
+		r.Observe(uint64(i*100+10), l, l)
+	}
+	r.Finish(800)
+	if r.SteadyAt() != -1 {
+		t.Fatalf("SteadyAt = %d, want -1", r.SteadyAt())
+	}
+	se, sc := r.SteadySummary()
+	if se.Count != 0 || sc.Count != 0 {
+		t.Fatalf("unconverged steady summary non-empty: %+v %+v", se, sc)
+	}
+	if !strings.Contains(r.Report(), "no steady-state convergence") {
+		t.Fatalf("report missing non-convergence marker:\n%s", r.Report())
+	}
+}
+
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	r.Observe(1, 2, 3)
+	r.Finish(10)
+	if r.Windows() != nil || r.SteadyAt() != -1 || r.Report() != "" {
+		t.Fatal("nil recorder must be fully inert")
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		r.Observe(100, 50, 10)
+	}); n != 0 {
+		t.Fatalf("nil Observe allocates %v/op", n)
+	}
+}
+
+func TestObserveAllocFreeWithinWindow(t *testing.T) {
+	r := NewRecorder(Config{WindowCycles: 1 << 60})
+	r.Observe(1, 1, 1) // settle any lazy state
+	if n := testing.AllocsPerRun(1000, func() {
+		r.Observe(100, 50, 10)
+	}); n != 0 {
+		t.Fatalf("Observe allocates %v/op inside a window", n)
+	}
+}
+
+func TestJSONLWindowsStream(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLWindows(&buf)
+	r := NewRecorder(Config{WindowCycles: 100, Sink: sink})
+	for i := 0; i < 5; i++ {
+		r.Observe(uint64(i*100+10), uint64(100+i), uint64(40+i))
+	}
+	r.Finish(500)
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var w jsonWindow
+		if err := json.Unmarshal(sc.Bytes(), &w); err != nil {
+			t.Fatalf("line %d: %v", n, err)
+		}
+		if w.Window != n {
+			t.Fatalf("window index %d at line %d", w.Window, n)
+		}
+		if !(w.E2E.P50 <= w.E2E.P99 && w.E2E.P99 <= w.E2E.P999) {
+			t.Fatalf("quantiles not monotone: %+v", w.E2E)
+		}
+		n++
+	}
+	if n != 5 {
+		t.Fatalf("got %d JSONL windows, want 5", n)
+	}
+}
+
+func TestCSVWindowsStream(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewCSVWindows(&buf)
+	r := NewRecorder(Config{WindowCycles: 100, Sink: sink})
+	r.Observe(10, 100, 40)
+	r.Observe(110, 120, 50)
+	r.Finish(200)
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want header + 2 rows:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "window,start,end,e2e_count") {
+		t.Fatalf("bad header: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0,0,100,1,100,100,100,100,100.0,") {
+		t.Fatalf("bad row: %s", lines[1])
+	}
+}

@@ -1,0 +1,181 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tlrsim/internal/memsys"
+	"tlrsim/internal/proc"
+	"tlrsim/internal/telemetry"
+)
+
+// Service is the open-loop production-service scenario: a lock-based
+// KV/session store driven by deterministic Poisson arrivals. Each CPU owns an
+// independent request stream — exponential inter-arrival gaps (mean MeanGap
+// cycles) and Zipf-skewed key popularity — and works through its queue in
+// arrival order: if the next request has not arrived yet the thread idles
+// until it does (WaitUntil); if the thread is running behind, queueing delay
+// accumulates and shows up in the end-to-end latency. Requests are GET
+// (read-only) or PUT (read-modify-write increment) over a key's value word,
+// each under the key's lock (key k -> lock k mod Locks), so the Zipf key skew
+// becomes lock contention skew.
+//
+// Like RandomMix, every request is drawn from the per-CPU generator stream
+// BEFORE its critical section begins, so transaction restarts replay the
+// identical request, and Validate replays the same streams to derive the
+// exact expected increment count per key.
+//
+// Latency observations go to Rec (nil = telemetry disabled, one pointer test
+// per request): end-to-end latency is completion minus arrival (queueing
+// included); critical-section latency is completion minus dispatch (lock
+// acquisition/elision retries included, queueing excluded).
+type Service struct {
+	// Requests is the total request count across all CPUs.
+	Requests int
+	// MeanGap is the mean inter-arrival gap per CPU stream, in cycles.
+	MeanGap uint64
+	// Keys and Locks size the store (defaults 256 keys, 16 locks).
+	Keys, Locks int
+	// ZipfS is the Zipf skew parameter (> 1; default 1.2).
+	ZipfS float64
+	// UpdatePct (0-100) is the share of PUT requests (default 50).
+	UpdatePct int
+	// Work is the compute inside each critical section (default 120 cycles).
+	Work uint64
+	// Seed drives the request streams (distinct from the machine seed).
+	Seed int64
+	// Rec receives per-request latency observations; nil disables telemetry.
+	Rec *telemetry.Recorder
+
+	procs int
+	locks []*proc.Lock
+	vals  []memsys.Addr
+}
+
+// svcSite is the static load site of the store's read-modify-write, for the
+// RMW predictor (one logical instruction address).
+const svcSite = 9001
+
+// svcReq is one generated request.
+type svcReq struct {
+	arrive uint64
+	key    int
+	update bool
+}
+
+// Name implements Workload.
+func (w *Service) Name() string { return "service" }
+
+func (w *Service) defaults() {
+	if w.Keys <= 0 {
+		w.Keys = 256
+	}
+	if w.Locks <= 0 {
+		w.Locks = 16
+	}
+	if w.ZipfS <= 1 {
+		w.ZipfS = 1.2
+	}
+	if w.UpdatePct == 0 {
+		w.UpdatePct = 50
+	}
+	if w.Work == 0 {
+		w.Work = 120
+	}
+	if w.MeanGap == 0 {
+		w.MeanGap = 4000
+	}
+}
+
+// Setup implements Workload.
+func (w *Service) Setup(m *proc.Machine) {
+	w.defaults()
+	w.procs = len(m.CPUs)
+	w.locks = make([]*proc.Lock, w.Locks)
+	for i := range w.locks {
+		w.locks[i] = m.NewLock()
+	}
+	w.vals = m.Alloc.PaddedWords(w.Keys)
+}
+
+// svcGen is one CPU's deterministic request generator: arrival clock plus
+// the shared random stream the Poisson gaps, Zipf keys, and GET/PUT draws
+// all consume in a fixed order (so Program and Validate replay identically).
+type svcGen struct {
+	rng   *rand.Rand
+	zipf  *rand.Zipf
+	clock uint64
+	w     *Service
+}
+
+func (w *Service) genStream(cpu int) *svcGen {
+	rng := rand.New(rand.NewSource(w.Seed*104729 + int64(cpu)*7919 + 1))
+	return &svcGen{
+		rng:  rng,
+		zipf: rand.NewZipf(rng, w.ZipfS, 1, uint64(w.Keys-1)),
+		w:    w,
+	}
+}
+
+// next draws one request: exponential gap, Zipf key, Bernoulli GET/PUT.
+func (g *svcGen) next() svcReq {
+	gap := uint64(g.rng.ExpFloat64()*float64(g.w.MeanGap)) + 1
+	g.clock += gap
+	return svcReq{
+		arrive: g.clock,
+		key:    int(g.zipf.Uint64()),
+		update: g.rng.Intn(100) < g.w.UpdatePct,
+	}
+}
+
+func (w *Service) perCPU() int { return perProc(w.Requests, w.procs) }
+
+// Program implements Workload.
+func (w *Service) Program(cpu int) func(*proc.TC) {
+	return func(tc *proc.TC) {
+		gen := w.genStream(cpu)
+		per := w.perCPU()
+		for i := 0; i < per; i++ {
+			req := gen.next()
+			tc.WaitUntil(req.arrive)
+			start := tc.Now()
+			l := w.locks[req.key%w.Locks]
+			a := w.vals[req.key]
+			if req.update {
+				tc.Critical(l, func() {
+					v := tc.LoadSite(a, svcSite)
+					tc.Compute(w.Work)
+					tc.Store(a, v+1)
+				})
+			} else {
+				tc.Critical(l, func() {
+					tc.LoadSite(a, svcSite)
+					tc.Compute(w.Work)
+				})
+			}
+			end := tc.Now()
+			w.Rec.Observe(end, end-req.arrive, end-start)
+		}
+	}
+}
+
+// Validate implements Workload: replays every CPU's generator stream and
+// checks each key's final value against the exact PUT count.
+func (w *Service) Validate(m *proc.Machine) error {
+	expect := make([]uint64, w.Keys)
+	for cpu := 0; cpu < len(m.CPUs); cpu++ {
+		gen := w.genStream(cpu)
+		per := w.perCPU()
+		for i := 0; i < per; i++ {
+			if req := gen.next(); req.update {
+				expect[req.key]++
+			}
+		}
+	}
+	for k, a := range w.vals {
+		if got := m.Sys.ArchWord(a); got != expect[k] {
+			return fmt.Errorf("key %d = %d, want %d updates", k, got, expect[k])
+		}
+	}
+	return nil
+}

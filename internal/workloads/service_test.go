@@ -1,0 +1,71 @@
+package workloads
+
+import (
+	"testing"
+
+	"tlrsim/internal/proc"
+	"tlrsim/internal/telemetry"
+)
+
+func TestServiceRunsAndValidates(t *testing.T) {
+	for _, scheme := range []proc.Scheme{proc.Base, proc.MCS, proc.TLR} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			rec := telemetry.NewRecorder(telemetry.Config{WindowCycles: 20_000})
+			w := &Service{Requests: 256, MeanGap: 1500, Seed: 3, Rec: rec}
+			m, err := Run(proc.BaselineConfig(4, scheme, 2002), w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec.Finish(uint64(m.Cycles()))
+			e2e, cs := rec.Summary()
+			if want := uint64(4 * (256 / 4)); e2e.Count != want {
+				t.Fatalf("observed %d requests, want %d", e2e.Count, want)
+			}
+			if cs.Count != e2e.Count {
+				t.Fatalf("cs count %d != e2e count %d", cs.Count, e2e.Count)
+			}
+			// Queueing is included in e2e but not cs: e2e quantiles dominate.
+			if e2e.P99 < cs.P99 {
+				t.Fatalf("e2e p99 %d < cs p99 %d", e2e.P99, cs.P99)
+			}
+			if len(rec.Windows()) == 0 {
+				t.Fatal("no windows closed")
+			}
+		})
+	}
+}
+
+func TestServiceDeterministicStreams(t *testing.T) {
+	w := &Service{Requests: 64, Seed: 9}
+	w.defaults()
+	w.procs = 2
+	a, b := w.genStream(1), w.genStream(1)
+	for i := 0; i < 50; i++ {
+		ra, rb := a.next(), b.next()
+		if ra != rb {
+			t.Fatalf("stream diverged at %d: %+v vs %+v", i, ra, rb)
+		}
+		if ra.arrive == 0 || ra.key < 0 || ra.key >= w.Keys {
+			t.Fatalf("bad request %+v", ra)
+		}
+	}
+	// Distinct CPUs draw distinct streams.
+	c := w.genStream(0)
+	same := true
+	d := w.genStream(1)
+	for i := 0; i < 10; i++ {
+		if c.next() != d.next() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("CPU 0 and CPU 1 streams identical")
+	}
+}
+
+func TestServiceNilRecorder(t *testing.T) {
+	w := &Service{Requests: 64, MeanGap: 1000, Seed: 3}
+	if _, err := Run(proc.BaselineConfig(2, proc.TLR, 2002), w); err != nil {
+		t.Fatal(err)
+	}
+}

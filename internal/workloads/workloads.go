@@ -56,15 +56,25 @@ func RunPrograms(m *proc.Machine, w Workload) error {
 		return fmt.Errorf("%s: %w", w.Name(), err)
 	}
 	if err := m.Sys.CheckCoherence(); err != nil {
-		return fmt.Errorf("%s: coherence: %w", w.Name(), err)
+		return withFlight(m, fmt.Errorf("%s: coherence: %w", w.Name(), err))
 	}
 	if err := m.CheckerErr(); err != nil {
-		return fmt.Errorf("%s: %w", w.Name(), err)
+		return withFlight(m, fmt.Errorf("%s: %w", w.Name(), err))
 	}
 	if err := w.Validate(m); err != nil {
-		return fmt.Errorf("%s: validate: %w", w.Name(), err)
+		return withFlight(m, fmt.Errorf("%s: validate: %w", w.Name(), err))
 	}
 	return nil
+}
+
+// withFlight appends the machine's flight-recorder dump (most recent tracer
+// ring events) to a correctness-violation error, preserving the wrapped error
+// chain for errors.As. A no-op when no tracer ring is attached.
+func withFlight(m *proc.Machine, err error) error {
+	if dump := m.FlightDump(); dump != "" {
+		return fmt.Errorf("%w\n%s", err, dump)
+	}
+	return err
 }
 
 // fairnessDelay implements the §5.1 methodology: after releasing a lock the

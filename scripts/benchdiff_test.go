@@ -1,0 +1,124 @@
+// Tests for benchdiff: the snapshot comparison must use the per-benchmark
+// minimum across -count repetitions, flag only moves beyond the tolerance
+// band, and always exit 0 — it is an informational trajectory report, never
+// a CI gate.
+package scripts_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func writeSnapshot(t *testing.T, dir, name, benchLines string) string {
+	t.Helper()
+	doc := `{
+  "go": "go1.fake",
+  "cpus": 1,
+  "gomaxprocs": 1,
+  "bench": [
+` + benchLines + `
+  ]
+}
+`
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runBenchdiff(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	script, err := filepath.Abs("benchdiff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("sh", append([]string{script}, args...)...)
+	b, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0, string(b)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running benchdiff: %v\n%s", err, b)
+	}
+	return ee.ExitCode(), string(b)
+}
+
+func TestBenchdiffFlagsRegressionsBeyondBand(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("sh script")
+	}
+	dir := t.TempDir()
+	// Old snapshot: Steady at 100 (min across three noisy repetitions),
+	// Slower at 100, Gone at 100.
+	old := writeSnapshot(t, dir, "old.json", strings.Join([]string{
+		`    {"name": "BenchmarkSteady", "iterations": 1, "ns_per_op": 130},`,
+		`    {"name": "BenchmarkSteady", "iterations": 1, "ns_per_op": 100},`,
+		`    {"name": "BenchmarkSteady", "iterations": 1, "ns_per_op": 120},`,
+		`    {"name": "BenchmarkSlower", "iterations": 1, "ns_per_op": 100},`,
+		`    {"name": "BenchmarkGone", "iterations": 1, "ns_per_op": 100}`,
+	}, "\n"))
+	// New snapshot: Steady within the band, Slower +50%, plus a new entry.
+	next := writeSnapshot(t, dir, "new.json", strings.Join([]string{
+		`    {"name": "BenchmarkSteady", "iterations": 1, "ns_per_op": 105},`,
+		`    {"name": "BenchmarkSlower", "iterations": 1, "ns_per_op": 150},`,
+		`    {"name": "BenchmarkFresh", "iterations": 1, "ns_per_op": 42}`,
+	}, "\n"))
+	code, log := runBenchdiff(t, old, next)
+	if code != 0 {
+		t.Fatalf("benchdiff must stay informational (exit %d):\n%s", code, log)
+	}
+	for _, line := range strings.Split(log, "\n") {
+		switch {
+		case strings.Contains(line, "BenchmarkSteady"):
+			// Min-of-repetitions: 100 -> 105, inside the 10% band.
+			if !strings.Contains(line, "+5.0%") || strings.Contains(line, "SLOWER") {
+				t.Fatalf("Steady not compared by per-name minimum: %q", line)
+			}
+		case strings.Contains(line, "BenchmarkSlower"):
+			if !strings.Contains(line, "SLOWER") {
+				t.Fatalf("+50%% move not flagged: %q", line)
+			}
+		case strings.Contains(line, "BenchmarkFresh"):
+			if !strings.Contains(line, "new") {
+				t.Fatalf("added benchmark not marked new: %q", line)
+			}
+		case strings.Contains(line, "BenchmarkGone"):
+			if !strings.Contains(line, "gone") {
+				t.Fatalf("removed benchmark not marked gone: %q", line)
+			}
+		}
+	}
+	if !strings.Contains(log, "1 benchmark(s) slower") {
+		t.Fatalf("missing regression summary:\n%s", log)
+	}
+	if !strings.Contains(log, "go1.fake, 1 cpus, GOMAXPROCS=1") {
+		t.Fatalf("missing host metadata lines:\n%s", log)
+	}
+}
+
+func TestBenchdiffToleranceFlagWidensBand(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("sh script")
+	}
+	dir := t.TempDir()
+	old := writeSnapshot(t, dir, "old.json",
+		`    {"name": "BenchmarkSlower", "iterations": 1, "ns_per_op": 100}`)
+	next := writeSnapshot(t, dir, "new.json",
+		`    {"name": "BenchmarkSlower", "iterations": 1, "ns_per_op": 150}`)
+	code, log := runBenchdiff(t, "-t", "60", old, next)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, log)
+	}
+	if strings.Contains(log, "SLOWER") {
+		t.Fatalf("+50%% flagged despite -t 60:\n%s", log)
+	}
+	if !strings.Contains(log, "no regressions beyond the 60% band") {
+		t.Fatalf("missing clean summary:\n%s", log)
+	}
+}

@@ -10,10 +10,22 @@
 //	tlrsim -experiment fig9 -metrics metrics.txt
 //
 // Experiments: table1, table2, fig8, fig9, fig10, fig11, coarse, rmw,
-// nack, queue, victim, penalty, storebuf, robust, service, all. ("all" runs
-// the paper reproduction suite; "robust" — the fault-intensity degradation
-// sweep — and "service" — the open-loop steady-state tail-latency study —
+// nack, queue, victim, penalty, storebuf, robust, service, cm, all. ("all"
+// runs the paper reproduction suite; "robust" — the fault-intensity
+// degradation sweep — "service" — the open-loop steady-state tail-latency
+// study — and "cm" — the contention-management policy-vs-workload matrix —
 // are run explicitly.)
+//
+// -cm POLICY selects the contention-management policy every eliding-scheme
+// (SLE/TLR) machine uses to resolve conflicts: timestamp (the paper's
+// fair timestamp ordering with request deferral — the default, under which
+// output is byte-identical to a build without the policy seam), strict-ts
+// (no §3.2 single-block relaxation), requester-wins (always service the
+// incoming request), backoff (requester-wins plus seeded exponential restart
+// backoff), or karma (priority from accumulated aborted work). -experiment
+// cm ignores -cm and sweeps all five policies against the microbenchmarks,
+// the application kernels, and the open-loop service workload, reporting
+// speedup over BASE, abort rate, fallback rate, and e2e p99 per cell.
 //
 // Simulated machines are independent deterministic runs, so -jobs N
 // executes up to N of them concurrently on host cores (default
@@ -85,7 +97,7 @@ func exitStatus(err error, stderr io.Writer) int {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("tlrsim", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "experiment to run: table1, table2, fig8, fig9, fig10, fig11, coarse, rmw, nack, queue, victim, penalty, storebuf, robust, service, all")
+		experiment = fs.String("experiment", "all", "experiment to run: table1, table2, fig8, fig9, fig10, fig11, coarse, rmw, nack, queue, victim, penalty, storebuf, robust, service, cm, all")
 		ops        = fs.Float64("ops", 1.0, "operation-count scale factor (1.0 = harness defaults; raise toward paper scale)")
 		seed       = fs.Int64("seed", 2002, "random seed (runs are deterministic per seed)")
 		procsFlag  = fs.String("procs", "2,4,8,16", "comma-separated processor counts for figure sweeps")
@@ -102,6 +114,7 @@ func run(args []string, stdout io.Writer) error {
 		telemetry  = fs.String("telemetry", "", "write the service experiment's per-window telemetry stream to this file (JSONL, or CSV when the name ends in .csv)")
 		windows    = fs.Uint64("windows", 100_000, "telemetry tumbling-window length in simulated cycles (service experiment)")
 		flight     = fs.Int("flight", 0, "arm an N-event flight recorder on every machine; stall and violation reports dump the ring")
+		cmFlag     = fs.String("cm", "timestamp", "contention-management policy for eliding schemes: timestamp, strict-ts, requester-wins, backoff, karma")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -126,6 +139,10 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *flight < 0 {
 		return fmt.Errorf("-flight must be >= 0")
+	}
+	cm, err := tlrsim.ParseCM(*cmFlag)
+	if err != nil {
+		return fmt.Errorf("-cm: %v", err)
 	}
 
 	if *cpuprofile != "" {
@@ -176,6 +193,7 @@ func run(args []string, stdout io.Writer) error {
 	o.ColdStart = *coldstart
 	o.Faults = faults
 	o.Flight = *flight
+	o.CM = cm
 	if *verbose {
 		o.Progress = func(done, total int, label string, run *tlrsim.Run) {
 			fmt.Fprintf(os.Stderr, "tlrsim: [%d/%d] %s: %d cycles\n", done, total, label, run.Cycles)
@@ -272,6 +290,9 @@ func run(args []string, stdout io.Writer) error {
 				so.CSV = strings.HasSuffix(*telemetry, ".csv")
 			}
 			r, err := tlrsim.ServiceSweep(o, so)
+			return report(name, r, err)
+		case "cm":
+			r, err := tlrsim.ContentionMatrix(o)
 			return report(name, r, err)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)

@@ -96,6 +96,17 @@ func ServiceSweep(o ExperimentOptions, so ServiceExperimentOptions) (*Experiment
 	return harness.ServiceSweep(o, so)
 }
 
+// ContentionMatrix runs the contention-management policy-vs-workload study:
+// every policy (CMs) against the Figure 8-10 microbenchmarks, the Figure 11
+// application kernels, and the open-loop service workload at both arrival
+// rates, each cell normalized to a BASE run of the same workload and
+// reporting speedup, abort rate, fallback rate, and (for service rows) the
+// end-to-end p99 request latency. ExperimentOptions.CM is ignored — the
+// matrix enumerates the policies itself.
+func ContentionMatrix(o ExperimentOptions) (*ExperimentResult, error) {
+	return harness.ContentionMatrix(o)
+}
+
 // Table1 renders the benchmark inventory (paper Table 1).
 func Table1() string { return harness.Table1() }
 

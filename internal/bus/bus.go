@@ -80,6 +80,13 @@ type Txn struct {
 	// transaction is void for every observer and the requester must retry.
 	Nacked bool
 
+	// Priority marks a forward-progress escalation: a request NACKed past
+	// the pathological threshold reissues with Priority set, and no owner
+	// (nor the fault injector) may NACK it again — the owner must resolve
+	// it through the deferral/service machinery instead, which guarantees
+	// the requester eventually completes.
+	Priority bool
+
 	// SrcHolds (Upgrade only) reports whether the requester still held a
 	// valid copy of the line at the order point. A false value marks a void
 	// upgrade: the copy it meant to promote was already invalidated, the
@@ -403,10 +410,13 @@ func (b *Bus) resolveSnoop(t *Txn) {
 			shared = true
 		}
 	}
-	if owner != MemID && owner != t.Src && (t.Kind == GetS || t.Kind == GetX) {
+	if owner != MemID && owner != t.Src && !t.Priority && (t.Kind == GetS || t.Kind == GetX) {
 		// A forced NACK is injected under exactly the eligibility condition
 		// where the owner itself may refuse, so every snooper handles it
-		// through the ordinary NACK-retry path.
+		// through the ordinary NACK-retry path. Priority escalations are
+		// exempt from both — that exemption IS the forward-progress
+		// guarantee for requests the owner (or injector) would otherwise
+		// refuse forever.
 		if b.snoopers[owner].SnoopNack(t) || b.faults.ForceNack() {
 			t.Nacked = true
 			b.stats.Nacks++

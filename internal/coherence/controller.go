@@ -89,6 +89,11 @@ type mshr struct {
 	// backoff grows with it and a cap forces the lock fallback.
 	nackRetries int
 
+	// priority: the request has been NACKed past the pathological
+	// threshold and reissues as a Priority transaction no owner may refuse
+	// (the non-speculative forward-progress escalation).
+	priority bool
+
 	waiters []OpDone
 }
 

@@ -50,7 +50,9 @@ func (c *Controller) SnoopShared(line memsys.Addr) bool {
 // exactly the requests the conflict-resolution algorithm says to make wait.
 // Consulted once per transaction by the bus, for the owner of record only.
 func (c *Controller) SnoopNack(t *bus.Txn) bool {
-	if !c.eng.Policy().RetentionNACK {
+	if !c.eng.Policy().RetentionNACK || t.Priority {
+		// A Priority escalation may never be refused (the bus already skips
+		// this call for it; the guard here keeps the invariant local).
 		return false
 	}
 	line := t.Line
@@ -270,25 +272,65 @@ func (c *Controller) nackedOwnRequest(t *bus.Txn) {
 	c.sys.Bus.Complete()
 	m.nackRetries++
 	c.stats.NackRetries++
-	if m.nackRetries > 100 && m.spec && c.eng.Speculating() && !c.eng.Aborted() {
-		// Pathological refusal of a transactional miss: treat it like a
-		// resource limit and take the lock (§3.3 guarantees progress). The
-		// request itself dies here; its waiters are squashed by the abort.
-		delete(c.mshrs, m.line)
-		c.AbortTxn(core.ReasonResource)
-		return
+	if m.nackRetries > pathologicalNacks {
+		if m.spec && c.eng.Speculating() && !c.eng.Aborted() {
+			// Pathological refusal of a transactional miss: treat it like a
+			// resource limit and take the lock (§3.3 guarantees progress).
+			// The request itself dies here; its waiters are squashed by the
+			// abort.
+			delete(c.mshrs, m.line)
+			c.AbortTxn(core.ReasonResource)
+			return
+		}
+		// A non-speculative miss has no transaction to fall back on, and
+		// until it completes the thread is stuck — past the same threshold
+		// its retry escalates to a Priority request the owner may not NACK,
+		// extending the forward-progress guarantee to plain accesses (they
+		// otherwise only die at the stall watchdog).
+		m.priority = true
 	}
 	kind, stamp, line := m.kind, m.stamp, m.line
-	backoff := uint64(10 * m.nackRetries)
+	backoff := nackBackoff(c.eng.Policy().Seed, c.id, m.nackRetries)
 	c.sys.K.After(backoff, func() {
 		cur, still := c.mshrs[line]
 		if !still || cur != m {
 			return // the miss was satisfied or replaced meanwhile
 		}
-		nt := &bus.Txn{Kind: kind, Line: line, Src: c.id, Stamp: stamp}
+		nt := &bus.Txn{Kind: kind, Line: line, Src: c.id, Stamp: stamp, Priority: m.priority}
 		m.txnID = c.sys.Bus.Issue(nt)
 	})
 }
+
+// pathologicalNacks is the refusal count past which a request stops
+// retrying politely: a transactional miss converts to lock fallback, a
+// plain miss escalates to a Priority reissue.
+const pathologicalNacks = 100
+
+// nackBackoff is the retry delay after a request's n-th NACK: exponential
+// from nackBackoffBase up to the nackBackoffCap shift, plus a deterministic
+// jitter in [0, delay) mixed from (machine seed, cpu, retry ordinal) — the
+// StartJitter idiom, no global RNG. The jitter is what desynchronises two
+// NACK-storming requesters: under the old linear 10*n rule both recomputed
+// identical delays every round and retried in lockstep forever.
+func nackBackoff(seed int64, cpu, retries int) uint64 {
+	shift := uint(retries - 1)
+	if shift > nackBackoffCap {
+		shift = nackBackoffCap
+	}
+	d := uint64(nackBackoffBase) << shift
+	x := uint64(seed)*0x9e3779b97f4a7c15 + uint64(cpu+1)*0xbf58476d1ce4e5b9 + uint64(retries)*0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return d + x%d
+}
+
+const (
+	nackBackoffBase = 16
+	nackBackoffCap  = 8 // delay plateaus at 4096 (+jitter < 8192) cycles
+)
 
 // chainAtPending appends an external request to the chain of our pending
 // ownership request and sends the requester a marker so it knows its

@@ -162,8 +162,19 @@ type Policy struct {
 	// TimestampBits bounds the hardware timestamp width: logical clocks
 	// wrap at 2^bits and priorities compare in the half-window sense
 	// (§2.1.2: "timestamp roll-over due to fixed size timestamps is easily
-	// handled"). 0 means unbounded (simulation default).
+	// handled"). 0 means unbounded (simulation default). Not compatible
+	// with CMKarma (karma stamps use a wide priority encoding).
 	TimestampBits uint
+
+	// CM selects the contention-management strategy consulted at the
+	// engine's conflict-decision sites. The zero value is the paper's
+	// timestamp policy, byte-identical to the pre-seam engine.
+	CM CM
+
+	// Seed is the machine seed, threaded in so policies can derive
+	// deterministic jitter (CMBackoff) without a global RNG. It never
+	// affects CMTimestamp.
+	Seed int64
 }
 
 // DefaultPolicy returns the paper's TLR configuration.
@@ -227,6 +238,7 @@ func Reasons() []Reason {
 type Engine struct {
 	cpu int
 	pol Policy
+	cm  ContentionPolicy // singleton for pol.CM, cached at construction/Reset
 	clk *stamp.Clock
 
 	mode        Mode
@@ -244,6 +256,11 @@ type Engine struct {
 
 	upgradeViolations map[memsys.Addr]int
 
+	// karma is the CMKarma priority bank: cycles lost to aborted attempts,
+	// carried across restarts, reset on commit or fallback. Maintained
+	// unconditionally (one add per abort); only karmaPolicy reads it.
+	karma uint64
+
 	stats Stats
 }
 
@@ -258,6 +275,7 @@ func NewEngine(cpu int, pol Policy) *Engine {
 	e := &Engine{
 		cpu:               cpu,
 		pol:               pol,
+		cm:                PolicyFor(pol.CM),
 		clk:               stamp.NewClock(cpu),
 		conflictLines:     make(map[memsys.Addr]bool),
 		upgradeViolations: make(map[memsys.Addr]int),
@@ -280,6 +298,7 @@ func (e *Engine) Reset(pol Policy) {
 		pol.MaxElisionDepth = 8
 	}
 	e.pol = pol
+	e.cm = PolicyFor(pol.CM)
 	e.clk.Reset()
 	e.clk.SetBits(pol.TimestampBits)
 	e.mode = ModeIdle
@@ -292,6 +311,7 @@ func (e *Engine) Reset(pol Policy) {
 	clear(e.conflictLines)
 	e.restartsThisAttempt = 0
 	clear(e.upgradeViolations)
+	e.karma = 0
 	e.stats = Stats{}
 }
 
@@ -315,6 +335,7 @@ func (e *Engine) AdoptState(src *Engine) {
 	for l, n := range src.upgradeViolations {
 		e.upgradeViolations[l] = n
 	}
+	e.karma = src.karma
 	e.stats = src.stats
 }
 
@@ -392,7 +413,7 @@ func (e *Engine) EnterCritical(elide bool) {
 	if e.mode != ModeSpec {
 		e.mode = ModeSpec
 		e.specBase = e.depth - 1 // enclosing acquired levels stay entered
-		e.txStamp = e.clk.Current()
+		e.txStamp = e.cm.AttemptStamp(e)
 		e.aborted = false
 		e.abortReason = ReasonNone
 		e.txSeq++
@@ -453,19 +474,7 @@ func (e *Engine) ResolveIncoming(in stamp.Stamp, line memsys.Addr, canDefer, oth
 		e.stats.DeferOverflow++
 		return Service
 	}
-	if e.StampBefore(e.txStamp, in) {
-		// Local transaction is earlier: it wins and the requester waits.
-		return Defer
-	}
-	// Local transaction is later. Strictly we must lose, but if only this
-	// single block is under conflict and no other miss is outstanding,
-	// deadlock is impossible (the coherence chain head is stable) and the
-	// protocol's own request queue provides the ordering (§3.2).
-	if !e.pol.StrictTimestamps && !otherLineOutstanding && e.singleConflictLine(line.Line()) {
-		e.stats.RelaxedWins++
-		return Defer
-	}
-	return Service
+	return e.cm.ResolveTimestamped(e, in, line, otherLineOutstanding)
 }
 
 func (e *Engine) singleConflictLine(line memsys.Addr) bool {
@@ -491,9 +500,7 @@ func (e *Engine) ResolveUntimestamped(line memsys.Addr, canDefer bool) Decision 
 		e.stats.DeferOverflow++
 		return Service
 	}
-	// Treated as carrying the latest timestamp in the system: always
-	// deferrable, ordered after the current transaction.
-	return Defer
+	return e.cm.ResolveUntimestamped(e, line)
 }
 
 // PushDeferred buffers a request the engine decided to Defer.
@@ -506,8 +513,13 @@ func (e *Engine) PushDeferred(d Deferred) {
 }
 
 // PeekDeferred returns the buffered requests without removing them (the
-// controller inspects them for the §3.2 relaxation-revocation check).
-func (e *Engine) PeekDeferred() []Deferred { return e.deferred }
+// controller inspects them for the §3.2 relaxation-revocation check). The
+// returned slice is a read-only view: its capacity is clamped to its
+// length, so an append by the caller reallocates instead of clobbering the
+// queue the engine still owns.
+func (e *Engine) PeekDeferred() []Deferred {
+	return e.deferred[:len(e.deferred):len(e.deferred)]
+}
 
 // ObserveConflict records a conflict detected while a request is still
 // pending (no resolution possible yet): the clock synchronisation and
@@ -565,11 +577,15 @@ func (e *Engine) AckAbort() {
 }
 
 // ShouldFallback reports whether, after the just-acknowledged abort, the
-// scheme should stop eliding and acquire the lock. TLR only falls back on
-// resource-class aborts; SLE also gives up after SLERestartLimit conflict
-// restarts (it has no conflict-resolution scheme to make retrying fair).
-// When Policy.MaxRestarts is set, both schemes additionally fall back once
-// one attempt has aborted that many times, whatever the reasons.
+// scheme should stop eliding and acquire the lock. The generic rules come
+// first: resource-class aborts always fall back, Policy.MaxRestarts (when
+// set) caps any attempt's restarts whatever the reasons, and plain SLE
+// gives up after SLERestartLimit conflict restarts (it has no
+// conflict-resolution scheme to make retrying fair). Past those, the
+// contention policy decides: the paper's timestamp policies retry
+// conflict-class aborts indefinitely, relying on timestamp fairness;
+// requester-wins and backoff cap restarts because they have no fairness
+// mechanism to lean on.
 func (e *Engine) ShouldFallback(r Reason) bool {
 	switch r {
 	case ReasonResource, ReasonUntimestamped:
@@ -581,11 +597,30 @@ func (e *Engine) ShouldFallback(r Reason) bool {
 	if !e.pol.EnableTLR {
 		return e.restartsThisAttempt > e.pol.SLERestartLimit
 	}
-	return false
+	return e.cm.ShouldFallback(e, r)
 }
 
-// NoteFallback records a lock acquisition after giving up on elision.
-func (e *Engine) NoteFallback() { e.stats.Fallbacks++ }
+// NoteFallback records a lock acquisition after giving up on elision. The
+// attempt is resolved, so the karma bank resets with it.
+func (e *Engine) NoteFallback() {
+	e.stats.Fallbacks++
+	e.karma = 0
+}
+
+// NoteAbortedWork banks cycles lost to a squashed attempt (the CPU reports
+// elapsed attempt time when it acknowledges the abort). CMKarma converts
+// the bank into stamp seniority on the next attempt.
+func (e *Engine) NoteAbortedWork(cycles uint64) { e.karma += cycles }
+
+// Karma reports the accumulated aborted-work bank (observability/tests).
+func (e *Engine) Karma() uint64 { return e.karma }
+
+// RetryBackoff returns the contention policy's extra delay (cycles) before
+// re-dispatching the squashed attempt; 0 for every policy but CMBackoff.
+func (e *Engine) RetryBackoff() uint64 { return e.cm.RetryDelay(e) }
+
+// ContentionName returns the active contention policy's name.
+func (e *Engine) ContentionName() string { return e.cm.Name() }
 
 // Commit finishes a successful transaction: the logical clock advances
 // strictly monotonically past every observed conflicting clock (invariant
@@ -607,6 +642,7 @@ func (e *Engine) Commit() {
 	}
 	e.stats.Commits++
 	e.restartsThisAttempt = 0
+	e.karma = 0
 	clear(e.conflictLines)
 	clear(e.upgradeViolations)
 }

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strings"
 
+	"tlrsim/internal/core"
 	"tlrsim/internal/fault"
 	"tlrsim/internal/proc"
 	"tlrsim/internal/runner"
@@ -68,6 +69,13 @@ type Options struct {
 	// watchdog so a genuine stall surfaces as a structured StallError instead
 	// of grinding to the event budget. The zero Spec is fully inert.
 	Faults fault.Spec
+	// CM selects the contention-management policy for every eliding-scheme
+	// (SLE/TLR) point of the experiment. The zero value is CMTimestamp — the
+	// paper's timestamp policy — under which reports are byte-identical to a
+	// harness without the policy seam. Points that set an explicit non-default
+	// Policy.CM of their own keep it; ContentionMatrix enumerates all policies
+	// itself and ignores this field.
+	CM core.CM
 }
 
 // faultStallCycles is the watchdog window armed on faulted experiment
@@ -150,6 +158,9 @@ func runPoints(o Options, points []point) ([]*stats.Run, error) {
 	for i := range points {
 		pt := &points[i]
 		pt.cfg.EnableMetrics = o.Metrics
+		if o.CM != core.CMTimestamp && pt.cfg.Scheme.Elides() && pt.cfg.Policy.CM == core.CMTimestamp {
+			pt.cfg.Policy.CM = o.CM
+		}
 		if o.Flight > 0 && pt.cfg.TraceCapacity == 0 {
 			pt.cfg.TraceCapacity = o.Flight
 		}

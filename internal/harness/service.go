@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"tlrsim/internal/core"
 	"tlrsim/internal/proc"
 	"tlrsim/internal/runner"
 	"tlrsim/internal/stats"
@@ -87,6 +88,9 @@ func ServiceSweep(o Options, so ServiceOptions) (*Result, error) {
 			idx := len(pts)
 			rate := rate
 			cfg := MachineConfig(o.AppProcs, scheme, o.Seed)
+			if o.CM != core.CMTimestamp && scheme.Elides() {
+				cfg.Policy.CM = o.CM
+			}
 			cfg.EnableMetrics = o.Metrics
 			if o.Flight > 0 && cfg.TraceCapacity == 0 {
 				cfg.TraceCapacity = o.Flight

@@ -1,0 +1,74 @@
+package litmus
+
+import (
+	"testing"
+
+	"tlrsim/internal/core"
+	"tlrsim/internal/fault"
+	"tlrsim/internal/proc"
+)
+
+// TestPolicyContainmentSweep extends the correctness gate across the
+// contention-management seam: every policy must preserve outcome containment.
+// A policy only chooses WHICH requester wins a conflict — it may select among
+// contained outcomes, never admit one outside the lock-based reference set,
+// and never fail a run (livelock under a policy surfaces here as a
+// run-failure divergence with its structured report).
+//
+// Only the eliding schemes consult the policy, so the sweep runs SLE and TLR;
+// the clean tier-1 sweep already covers BASE and the default policy.
+func TestPolicyContainmentSweep(t *testing.T) {
+	shape := Shape{CPUs: 2, Locs: 2, MaxOps: 2}
+	for _, cm := range core.CMs() {
+		cm := cm
+		t.Run(cm.String(), func(t *testing.T) {
+			pt := DefaultPerturb
+			pt.CM = cm
+			opts := Options{
+				Shape:   shape,
+				Schemes: []proc.Scheme{proc.SLE, proc.TLR},
+				Perturb: pt,
+			}
+			if testing.Short() {
+				opts.Seeds = []int64{1, 2, 3}
+			}
+			rep := Check(opts)
+			t.Logf("policy %v: %d programs, %d runs, %d observed outcomes",
+				cm, rep.Programs, rep.Runs, rep.ObservedOutcomes)
+			reportDivergences(t, rep)
+		})
+	}
+}
+
+// TestPolicyChaosContainment runs the chaos fault configurations under the
+// two most timing-divergent policies (backoff reshuffles retry schedules;
+// karma reorders priority mid-run): containment must hold under the product
+// of injected adversity and non-default conflict resolution.
+func TestPolicyChaosContainment(t *testing.T) {
+	shape := Shape{CPUs: 2, Locs: 2, MaxOps: 2}
+	for _, cm := range []core.CM{core.CMBackoff, core.CMKarma} {
+		cm := cm
+		t.Run(cm.String(), func(t *testing.T) {
+			for _, spec := range chaosFaults {
+				t.Run(spec, func(t *testing.T) {
+					fs, err := fault.ParseSpec(spec)
+					if err != nil {
+						t.Fatal(err)
+					}
+					opts := Options{
+						Shape:   shape,
+						Schemes: []proc.Scheme{proc.SLE, proc.TLR},
+						Perturb: Perturb{Faults: fs, CM: cm},
+					}
+					if testing.Short() {
+						opts.Seeds = []int64{1, 2}
+					}
+					rep := Check(opts)
+					t.Logf("policy %v chaos %q: %d programs, %d runs, %d observed outcomes",
+						cm, spec, rep.Programs, rep.Runs, rep.ObservedOutcomes)
+					reportDivergences(t, rep)
+				})
+			}
+		})
+	}
+}

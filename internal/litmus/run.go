@@ -5,6 +5,7 @@ import (
 
 	"tlrsim/internal/bus"
 	"tlrsim/internal/cache"
+	"tlrsim/internal/core"
 	"tlrsim/internal/fault"
 	"tlrsim/internal/memsys"
 	"tlrsim/internal/proc"
@@ -28,6 +29,14 @@ type Perturb struct {
 	// outcome outside the lock-based reference set is still a divergence —
 	// containment must hold under every legal fault configuration.
 	Faults fault.Spec
+
+	// CM selects the contention-management policy eliding schemes use
+	// (core.CM). Like Faults, the reference model is untouched: a policy may
+	// change which contained outcome a run lands on, but every policy must
+	// stay within the lock-based reference set. The zero value (the paper's
+	// timestamp policy) leaves the machine configuration bit-identical to a
+	// perturbation without the field.
+	CM core.CM
 }
 
 // DefaultPerturb spreads thread starts across a few hundred cycles (the
@@ -65,6 +74,9 @@ func machineConfig(cpus int, scheme proc.Scheme, seed int64, pt Perturb) proc.Co
 	cfg.Coherence.StoreBufferEntries = 8
 	cfg.MaxEvents = maxEvents
 	cfg.StartJitter = pt.StartJitter
+	if pt.CM != core.CMTimestamp && scheme.Elides() {
+		cfg.Policy.CM = pt.CM
+	}
 	if pt.Faults.Enabled() {
 		cfg.Faults = pt.Faults
 		// Faulted runs are slower (grant delays, NACK storms, forced

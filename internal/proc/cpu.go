@@ -82,6 +82,11 @@ type CPU struct {
 	// executes before this cycle (§4 stability experiments).
 	stalledUntil sim.Time
 
+	// specStartAt is when the in-flight speculative attempt entered
+	// speculation; on abort the elapsed span is banked as the attempt's
+	// lost work (the karma contention policy's priority currency).
+	specStartAt sim.Time
+
 	// critArmed spans the outermost critical section for observability:
 	// armed at the first dispatch of the outermost Critical frame, disarmed
 	// at its completion, surviving restarts in between so the recorded hold
@@ -502,12 +507,15 @@ func (cpu *CPU) txBegin(o op, complete func(result), alive func() bool) {
 		}
 		reason := cpu.eng.AbortReason()
 		cpu.noteAbort(reason)
+		cpu.eng.NoteAbortedWork(uint64(cpu.m.K.Now() - cpu.specStartAt))
 		cpu.eng.AckAbort()
 		if cpu.eng.ShouldFallback(reason) {
 			cpu.pendingFallback = true
 			cpu.elide.Failure(o.lock.ID)
 		}
-		cpu.m.K.After(cpu.m.cfg.RestartPenalty, func() {
+		// RetryBackoff is the contention policy's extra delay (0 for every
+		// policy but backoff, so the default schedule is untouched).
+		cpu.m.K.After(cpu.m.cfg.RestartPenalty+cpu.eng.RetryBackoff(), func() {
 			if !alive() {
 				return
 			}
@@ -590,6 +598,9 @@ func (cpu *CPU) txBeginDispatchFenced(o op, complete func(result), alive func() 
 // the lock to be observed free before re-entering speculation.
 func (cpu *CPU) elideAttempt(o op, complete func(result), alive func() bool) {
 	if !cpu.waitFree {
+		if !cpu.eng.Speculating() {
+			cpu.specStartAt = cpu.m.K.Now()
+		}
 		cpu.eng.EnterCritical(true)
 		cpu.m.Sys.Trace(cpu.id, trace.TxnBegin, o.lock.Addr, "")
 		txSeq := cpu.eng.TxSeq()
@@ -629,6 +640,9 @@ func (cpu *CPU) elideAttempt(o op, complete func(result), alive func() bool) {
 					cpu.m.K.After(cpu.m.cfg.SpinRecheck, try)
 				})
 				return
+			}
+			if !cpu.eng.Speculating() {
+				cpu.specStartAt = cpu.m.K.Now()
 			}
 			cpu.eng.EnterCritical(true)
 			cpu.ctrl.Load(o.lock.Addr, false, func(v2 uint64, ok2 bool) {

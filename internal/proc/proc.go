@@ -146,6 +146,7 @@ func (c Config) policy() core.Policy {
 		p = core.DefaultPolicy()
 		p.StrictTimestamps = c.Policy.StrictTimestamps
 		p.AbortOnUntimestamped = c.Policy.AbortOnUntimestamped
+		p.CM = c.Policy.CM
 	}
 	switch c.Scheme {
 	case SLE:
@@ -156,6 +157,16 @@ func (c Config) policy() core.Policy {
 		p.EnableTLR = true
 		p.StrictTimestamps = true
 	}
+	// The strict-ts policy is the StrictTimestamps ablation absorbed as a
+	// contention policy: keep the flag in sync so every reader of either
+	// knob (e.g. the §3.2 revocation check) sees a consistent view.
+	if p.CM == core.CMStrictTS {
+		p.StrictTimestamps = true
+	}
+	// Policies derive deterministic jitter from the machine seed (the
+	// StartJitter idiom); the seed is a run knob, not part of the policy a
+	// caller configures.
+	p.Seed = c.Seed
 	// The fault spec's restart cap is the bounded-retries half of the
 	// degradation contract: under injected adversity every CPU must commit or
 	// reach fallback within a bounded number of restarts. An explicit Policy

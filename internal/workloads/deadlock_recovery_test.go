@@ -20,13 +20,16 @@ import (
 // break it. Under this fault spec (grant delay + reorder + forced NACKs +
 // forced aborts + message delay) the window is wide enough to hit reliably:
 // before deadlock recovery existed, this exact run starved the event queue
-// dry and failed with StallDeadlock.
+// dry and failed with StallDeadlock. (The injection seed is re-pointed when
+// protocol timing changes close the window at the old one — most recently
+// the exponential NACK-retry backoff, which desynchronised the retry storm
+// that seed=1 relied on.)
 //
 // The pinned contract: the run completes, the coherence/consistency checker
 // stays clean, and recovery actually fired (so the race is exercised, not
 // merely avoided).
 func TestDeadlockRecoveryProbeTransitRace(t *testing.T) {
-	spec, err := fault.ParseSpec("grant=40:40,reorder=25,nack=30,abort=15:conflict,wb=20,msg=25:40,cap=24,seed=1")
+	spec, err := fault.ParseSpec("grant=40:40,reorder=25,nack=30,abort=15:conflict,wb=20,msg=25:40,cap=24,seed=3")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,40 @@
+package workloads
+
+import (
+	"testing"
+
+	"tlrsim/internal/fault"
+	"tlrsim/internal/proc"
+)
+
+// TestRelentlessNackStormCompletes pins the non-speculative NACK escape
+// hatch: under a 100% injected NACK rate, EVERY eligible request is refused
+// until its retry count passes the pathological threshold, at which point it
+// reissues with bus priority and no snooper — and no fault injector — may
+// NACK it again. BASE never speculates, so speculative abort recovery cannot
+// save it; before the escalation extended to non-speculative misses this
+// exact run spun NACK-retry forever and died on the forward-progress
+// watchdog. The pinned contract: the run completes, checker-clean, with no
+// StallError, and the storm actually formed (retries well past the
+// threshold).
+func TestRelentlessNackStormCompletes(t *testing.T) {
+	spec, err := fault.ParseSpec("nack=100,seed=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := proc.BaselineConfig(2, proc.Base, 2002)
+	cfg.Faults = spec
+	cfg.StallCycles = 5_000_000
+	m, err := Run(cfg, &SingleCounter{TotalOps: 64})
+	if err != nil {
+		t.Fatalf("relentless NACK storm must complete via priority escalation, got: %v", err)
+	}
+	var retries uint64
+	for _, cpu := range m.CPUs {
+		retries += cpu.Ctrl().Stats().NackRetries
+	}
+	if retries <= 100 {
+		t.Fatalf("only %d NACK retries: the storm never crossed the pathological "+
+			"threshold, so priority escalation was not exercised", retries)
+	}
+}

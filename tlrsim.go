@@ -38,6 +38,7 @@ package tlrsim
 
 import (
 	"tlrsim/internal/checker"
+	"tlrsim/internal/core"
 	"tlrsim/internal/fault"
 	"tlrsim/internal/memsys"
 	"tlrsim/internal/proc"
@@ -61,6 +62,37 @@ const (
 	// MCS uses software queue locks.
 	MCS = proc.MCS
 )
+
+// CM selects the contention-management policy eliding schemes (SLE/TLR) use
+// to resolve conflicting remote requests (Config.Policy.CM and
+// ExperimentOptions.CM). The zero value is CMTimestamp — the paper's policy —
+// under which behaviour is bit-identical to a build without the policy seam.
+type CM = core.CM
+
+// The five contention-management policies.
+const (
+	// CMTimestamp is the paper's policy: fair timestamp ordering with
+	// request deferral and the §3.2 single-block relaxation.
+	CMTimestamp = core.CMTimestamp
+	// CMStrictTS is CMTimestamp without the §3.2 relaxation.
+	CMStrictTS = core.CMStrictTS
+	// CMRequesterWins always services the incoming request (the requester
+	// wins; the holder restarts), with a bounded-restart fallback.
+	CMRequesterWins = core.CMRequesterWins
+	// CMBackoff is CMRequesterWins plus seeded deterministic exponential
+	// restart backoff with jitter.
+	CMBackoff = core.CMBackoff
+	// CMKarma prioritises the transaction that has lost the most work:
+	// accumulated aborted cycles raise its priority across restarts.
+	CMKarma = core.CMKarma
+)
+
+// ParseCM parses a policy name ("timestamp", "strict-ts", "requester-wins",
+// "backoff", "karma") as accepted by the tlrsim -cm flag.
+func ParseCM(s string) (CM, error) { return core.ParseCM(s) }
+
+// CMs returns every contention-management policy in enumeration order.
+func CMs() []CM { return core.CMs() }
 
 // Config assembles a simulated machine; DefaultConfig fills in the paper's
 // Table 2 parameters.
